@@ -1,0 +1,32 @@
+//! Criterion bench regenerating Fig. 1 (event-count skew in a home
+//! deployment replay). The measured quantity is the cost of simulating
+//! the deployment; the skew table itself is printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Print the figure once so bench logs double as results.
+    let rows = rivulet_bench::fig1::run(0.25, 5);
+    println!("\nFig 1 (0.25 simulated days):");
+    for row in &rows {
+        println!(
+            "  {:<10} emitted {:>5} received {:?} skew {}",
+            row.sensor,
+            row.emitted,
+            row.received,
+            row.skew()
+        );
+    }
+
+    c.bench_function("fig1_deployment_replay_6h", |b| {
+        b.iter(|| black_box(rivulet_bench::fig1::run(black_box(0.25), 5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

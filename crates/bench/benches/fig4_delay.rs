@@ -1,0 +1,47 @@
+//! Criterion bench regenerating Fig. 4 (delivery delay vs process
+//! count). Each measurement runs the full simulated scenario and
+//! reports the resulting mean delay once per cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rivulet_bench::fig4;
+use rivulet_core::delivery::Delivery;
+use rivulet_types::Duration;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let run_len = Duration::from_secs(20);
+    // Print the 4a table once.
+    println!("\nFig 4a (mean delay, receiver farthest):");
+    for p in fig4::sweep(true, run_len) {
+        println!(
+            "  {:>8} {:>6} n={} {:>9.2} ms",
+            p.delivery.to_string(),
+            p.size_label,
+            p.n_processes,
+            p.mean_delay.as_micros() as f64 / 1_000.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_delay_scenario");
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        for n in [2usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(delivery.to_string(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(fig4::measure(delivery, 4, n, true, run_len))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench regenerating Fig. 5 (network overhead of Gapless
+//! and naive broadcast, normalized against Gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rivulet_bench::fig5::{self, Protocol};
+use rivulet_types::Duration;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let run_len = Duration::from_secs(15);
+    println!("\nFig 5 (bytes normalized against the Gap reference):");
+    for p in fig5::sweep(run_len) {
+        println!(
+            "  {:>10} {:>6} rx={} {:>8.2}x",
+            p.protocol.to_string(),
+            p.size_label,
+            p.receiving,
+            p.normalized
+        );
+    }
+
+    let mut group = c.benchmark_group("fig5_overhead_scenario");
+    for protocol in [Protocol::Gap, Protocol::GaplessRing, Protocol::Broadcast] {
+        for receiving in [1usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.to_string(), receiving),
+                &receiving,
+                |b, &receiving| {
+                    b.iter(|| {
+                        black_box(fig5::delivery_bytes(protocol, receiving, 4, run_len))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench regenerating Fig. 6 (% events delivered under
+//! sensor-process link loss).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rivulet_bench::fig6;
+use rivulet_core::delivery::Delivery;
+use rivulet_types::Duration;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let run_len = Duration::from_secs(20);
+    println!("\nFig 6 (% delivered):");
+    for p in fig6::sweep(run_len, 7) {
+        println!(
+            "  {:>8} loss={:>6.2}% rx={} {:>6.1}%",
+            p.delivery.to_string(),
+            p.loss * 100.0,
+            p.receiving,
+            p.fraction * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6_loss_scenario");
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        group.bench_with_input(
+            BenchmarkId::new(delivery.to_string(), "50pct_2rx"),
+            &delivery,
+            |b, &delivery| {
+                b.iter(|| {
+                    black_box(fig6::delivered_fraction(delivery, 0.5, 2, run_len, 7))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

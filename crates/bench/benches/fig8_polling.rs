@@ -1,0 +1,37 @@
+//! Criterion bench regenerating Fig. 8 (coordinated vs uncoordinated
+//! polling overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rivulet_bench::fig8::{self, Mode};
+use rivulet_types::Duration;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let run_len = Duration::from_secs(120);
+    println!("\nFig 8 (polls vs optimal):");
+    for mode in [Mode::Gap, Mode::Coordinated, Mode::Uncoordinated] {
+        for p in fig8::run(mode, run_len, 3) {
+            println!(
+                "  {:>16} {:<14} {:>5.2}x",
+                mode.to_string(),
+                p.sensor,
+                p.normalized
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig8_polling_scenario");
+    for mode in [Mode::Gap, Mode::Coordinated, Mode::Uncoordinated] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.to_string()), &mode, |b, &mode| {
+            b.iter(|| black_box(fig8::run(mode, run_len, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

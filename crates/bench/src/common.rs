@@ -1,0 +1,310 @@
+//! Shared scenario machinery for the §8 experiments.
+//!
+//! The paper's testbed is five Raspberry Pis plus an "IP-based software
+//! sensor" whose reachability and loss are controlled per link (§8.1).
+//! [`DeliveryScenario`] is exactly that: `n` processes, one software
+//! push sensor reaching a chosen subset, one no-op application whose
+//! probe measures deliveries, and knobs for loss, event size, crash
+//! injection, and the forwarding protocol.
+
+use std::sync::Arc;
+
+use rivulet_core::app::{AppBuilder, CombinerSpec, WindowSpec};
+use rivulet_core::config::ForwardingMode;
+use rivulet_core::delivery::Delivery;
+use rivulet_core::deploy::{Home, HomeBuilder};
+use rivulet_core::probe::{AppProbe, DeliveryRecord};
+use rivulet_core::RivuletConfig;
+use rivulet_devices::sensor::{EmissionProbe, EmissionSchedule, PayloadSpec};
+use rivulet_net::sim::{SimConfig, SimNet};
+use rivulet_types::{AppId, Duration, EventKind, ProcessId, Time};
+
+/// Event payload sizes studied in Figs. 4–6 (Table 3 classes).
+pub const EVENT_SIZES: [(&str, usize); 4] =
+    [("4B", 4), ("8B", 8), ("1KB", 1024), ("20KB", 20 * 1024)];
+
+/// Builds a [`PayloadSpec`] producing events of roughly `bytes` payload.
+#[must_use]
+pub fn payload_of(bytes: usize) -> PayloadSpec {
+    match bytes {
+        0..=4 => PayloadSpec::KindOnly(EventKind::Motion),
+        5..=8 => PayloadSpec::Scalar(rivulet_devices::value::ValueModel::Constant(21.0)),
+        _ => PayloadSpec::Blob { kind: EventKind::Image, len: bytes },
+    }
+}
+
+/// Configuration of one §8 delivery run.
+#[derive(Debug, Clone)]
+pub struct DeliveryScenario {
+    /// Number of Rivulet processes (hosts).
+    pub n_processes: usize,
+    /// Indices of processes able to hear the sensor. The
+    /// application-bearing process is always index 0 (it wins the
+    /// placement tie-break), so `vec![1]` is the paper's "receiver
+    /// placed farthest from the application-bearing process" (one full
+    /// ring traversal), and `vec![0]` is Fig. 4b's direct receipt.
+    pub receivers: Vec<usize>,
+    /// Event payload bytes.
+    pub event_bytes: usize,
+    /// Delivery guarantee under test.
+    pub delivery: Delivery,
+    /// Gapless forwarding protocol (ring or the broadcast baseline).
+    pub forwarding: ForwardingMode,
+    /// Sensor event rate per second.
+    pub rate_per_sec: u64,
+    /// Virtual run length.
+    pub duration: Duration,
+    /// Loss probability applied on each sensor→receiver link.
+    pub loss: f64,
+    /// Crash the application-bearing process at this time, if set.
+    pub crash_app_at: Option<Time>,
+    /// Failure-detection threshold (2 s in §8.4).
+    pub failure_timeout: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DeliveryScenario {
+    /// The paper's default setup: five processes, 4-byte events at
+    /// 10 events/s for 200 seconds, receiver farthest from the app.
+    #[must_use]
+    pub fn paper_default(delivery: Delivery) -> Self {
+        Self {
+            n_processes: 5,
+            receivers: vec![1],
+            event_bytes: 4,
+            delivery,
+            forwarding: ForwardingMode::Ring,
+            rate_per_sec: 10,
+            duration: Duration::from_secs(200),
+            loss: 0.0,
+            crash_app_at: None,
+            failure_timeout: Duration::from_secs(2),
+            seed: 42,
+        }
+    }
+}
+
+/// Measurements extracted from one run.
+#[derive(Debug, Clone)]
+pub struct DeliveryOutcome {
+    /// Events the sensor emitted.
+    pub emitted: u64,
+    /// Distinct events processed by active logic nodes.
+    pub unique_delivered: usize,
+    /// Mean sensor→logic delay.
+    pub mean_delay: Option<Duration>,
+    /// Maximum observed delay.
+    pub max_delay: Option<Duration>,
+    /// Bytes sent on the inter-process WiFi mesh (payloads + frame
+    /// headers), including platform background traffic.
+    pub wifi_bytes: u64,
+    /// Raw delivery records (for timelines).
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Promotion/demotion history.
+    pub transitions: Vec<(Time, ProcessId, bool)>,
+}
+
+impl DeliveryOutcome {
+    /// Fraction of emitted events that reached the application.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.emitted == 0 {
+            return 0.0;
+        }
+        self.unique_delivered as f64 / self.emitted as f64
+    }
+}
+
+/// Runs one delivery scenario to completion.
+///
+/// # Panics
+///
+/// Panics on malformed configuration (no processes, receiver index out
+/// of range).
+#[must_use]
+pub fn run_delivery(cfg: &DeliveryScenario) -> DeliveryOutcome {
+    let (outcome, _, _) = run_delivery_with_probes(cfg);
+    outcome
+}
+
+/// Like [`run_delivery`], also returning the emission and app probes
+/// for custom analysis.
+#[must_use]
+pub fn run_delivery_with_probes(
+    cfg: &DeliveryScenario,
+) -> (DeliveryOutcome, Arc<EmissionProbe>, Arc<AppProbe>) {
+    assert!(cfg.n_processes > 0, "need at least one process");
+    assert!(
+        cfg.receivers.iter().all(|r| *r < cfg.n_processes),
+        "receiver index out of range"
+    );
+    let mut net = SimNet::new(SimConfig::with_seed(cfg.seed));
+    let config = RivuletConfig::default()
+        .with_failure_timeout(cfg.failure_timeout)
+        .with_forwarding(cfg.forwarding);
+    let mut home = HomeBuilder::new(&mut net).with_config(config);
+    let pids: Vec<ProcessId> =
+        (0..cfg.n_processes).map(|i| home.add_host(format!("host{i}"))).collect();
+    let receivers: Vec<ProcessId> = cfg.receivers.iter().map(|r| pids[*r]).collect();
+
+    let period = Duration::from_micros(1_000_000 / cfg.rate_per_sec.max(1));
+    let (sensor, emission_probe) = home.add_push_sensor(
+        "software-sensor",
+        payload_of(cfg.event_bytes),
+        EmissionSchedule::Periodic(period),
+        &receivers,
+    );
+    // An actuator reachable only from host 0 pins the active logic
+    // node there (placement prefers the best device score, ties by
+    // id), reproducing the paper's fixed application-bearing process.
+    let (anchor, _) = home.add_actuator(
+        "app-anchor",
+        rivulet_types::ActuationState::Switch(false),
+        &[pids[0]],
+    );
+
+    // A no-op measurement app; the probe records every delivery.
+    let app = AppBuilder::new(AppId(1), "measurement")
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut rivulet_core::app::OpCtx, _: &rivulet_core::app::CombinedWindows| {},
+        )
+        .sensor(sensor, cfg.delivery, WindowSpec::count(1))
+        .actuator(anchor, cfg.delivery)
+        .done()
+        .build()
+        .expect("valid app");
+    let app_probe = home.add_app(app);
+    let home: Home = home.build();
+
+    // Sensor→process loss on the receiving links.
+    if cfg.loss > 0.0 {
+        let sensor_actor = home.sensor_actor(sensor);
+        for r in &receivers {
+            net.topology_mut().set_loss(sensor_actor, home.actor_of(*r), cfg.loss);
+        }
+    }
+    if let Some(at) = cfg.crash_app_at {
+        net.crash_at(home.actor_of(pids[0]), at);
+    }
+
+    net.run_until(Time::ZERO + cfg.duration);
+
+    let delays = app_probe.delays();
+    let outcome = DeliveryOutcome {
+        emitted: emission_probe.emitted(),
+        unique_delivered: app_probe.unique_delivered(),
+        mean_delay: app_probe.mean_delay(),
+        max_delay: delays.iter().copied().max(),
+        wifi_bytes: net.metrics().wifi_bytes,
+        deliveries: app_probe.deliveries(),
+        transitions: app_probe.transitions(),
+    };
+    (outcome, emission_probe, app_probe)
+}
+
+/// WiFi bytes of a run identical to `cfg` but with a silent sensor —
+/// the platform's background traffic (keep-alives, sync), subtracted
+/// when computing per-event network overhead (Fig. 5).
+#[must_use]
+pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
+    let mut quiet = cfg.clone();
+    quiet.rate_per_sec = 1;
+    let mut net = SimNet::new(SimConfig::with_seed(quiet.seed));
+    let config = RivuletConfig::default()
+        .with_failure_timeout(quiet.failure_timeout)
+        .with_forwarding(quiet.forwarding);
+    let mut home = HomeBuilder::new(&mut net).with_config(config);
+    let pids: Vec<ProcessId> =
+        (0..quiet.n_processes).map(|i| home.add_host(format!("host{i}"))).collect();
+    let receivers: Vec<ProcessId> = quiet.receivers.iter().map(|r| pids[*r]).collect();
+    let (sensor, _) = home.add_push_sensor(
+        "software-sensor",
+        payload_of(quiet.event_bytes),
+        EmissionSchedule::Script(Vec::new()),
+        &receivers,
+    );
+    let (anchor, _) = home.add_actuator(
+        "app-anchor",
+        rivulet_types::ActuationState::Switch(false),
+        &[pids[0]],
+    );
+    let app = AppBuilder::new(AppId(1), "measurement")
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut rivulet_core::app::OpCtx, _: &rivulet_core::app::CombinedWindows| {},
+        )
+        .sensor(sensor, quiet.delivery, WindowSpec::count(1))
+        .actuator(anchor, quiet.delivery)
+        .done()
+        .build()
+        .expect("valid app");
+    let _ = home.add_app(app);
+    let _home: Home = home.build();
+    net.run_until(Time::ZERO + quiet.duration);
+    net.metrics().wifi_bytes
+}
+
+/// Renders a duration as fractional milliseconds for table output.
+#[must_use]
+pub fn ms(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_owned(),
+        Some(d) => format!("{:.2}", d.as_micros() as f64 / 1_000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_gapless_delivers_everything() {
+        let mut cfg = DeliveryScenario::paper_default(Delivery::Gapless);
+        cfg.duration = Duration::from_secs(20);
+        let out = run_delivery(&cfg);
+        assert!(out.emitted >= 195, "emitted {}", out.emitted);
+        // Every event except possibly in-flight tail ones arrives.
+        assert!(
+            out.unique_delivered as u64 >= out.emitted - 2,
+            "delivered {}/{}",
+            out.unique_delivered,
+            out.emitted
+        );
+        assert!(out.mean_delay.is_some());
+    }
+
+    #[test]
+    fn failure_free_gap_delivers_everything() {
+        let mut cfg = DeliveryScenario::paper_default(Delivery::Gap);
+        cfg.duration = Duration::from_secs(20);
+        let out = run_delivery(&cfg);
+        assert!(out.unique_delivered as u64 >= out.emitted - 2);
+    }
+
+    #[test]
+    fn gap_is_no_slower_than_gapless_at_farthest_placement() {
+        let mut gap_cfg = DeliveryScenario::paper_default(Delivery::Gap);
+        gap_cfg.duration = Duration::from_secs(20);
+        let mut gapless_cfg = DeliveryScenario::paper_default(Delivery::Gapless);
+        gapless_cfg.duration = Duration::from_secs(20);
+        let gap = run_delivery(&gap_cfg).mean_delay.unwrap();
+        let gapless = run_delivery(&gapless_cfg).mean_delay.unwrap();
+        assert!(gap <= gapless, "gap {gap} vs gapless {gapless}");
+    }
+
+    #[test]
+    fn direct_receipt_is_fast() {
+        let mut cfg = DeliveryScenario::paper_default(Delivery::Gapless);
+        cfg.receivers = vec![0];
+        cfg.duration = Duration::from_secs(20);
+        let out = run_delivery(&cfg);
+        let mean = out.mean_delay.unwrap();
+        // Fig. 4b: ~1–2 ms when the app-bearing process hears the
+        // sensor directly.
+        assert!(mean <= Duration::from_millis(3), "mean {mean}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 4 — delivery delay with increasing number of processes.
+//!
+//! (a) the event-receiving process is placed farthest from the
+//! application-bearing process; (b) the application-bearing process
+//! receives directly. One sensor, 10 events/s, event sizes from
+//! Table 3, 2–5 processes, Gap vs Gapless.
+
+use rivulet_core::delivery::Delivery;
+use rivulet_types::Duration;
+
+use crate::common::{run_delivery, DeliveryScenario, EVENT_SIZES};
+
+/// One measured cell of the figure.
+#[derive(Debug, Clone)]
+pub struct DelayPoint {
+    /// Delivery guarantee.
+    pub delivery: Delivery,
+    /// Event size label ("4B", …).
+    pub size_label: &'static str,
+    /// Number of processes.
+    pub n_processes: usize,
+    /// Mean sensor→logic delay.
+    pub mean_delay: Duration,
+}
+
+/// Runs one cell.
+#[must_use]
+pub fn measure(
+    delivery: Delivery,
+    event_bytes: usize,
+    n_processes: usize,
+    farthest: bool,
+    duration: Duration,
+) -> Option<Duration> {
+    let mut cfg = DeliveryScenario::paper_default(delivery);
+    cfg.n_processes = n_processes;
+    cfg.receivers = if farthest { vec![1.min(n_processes - 1)] } else { vec![0] };
+    cfg.event_bytes = event_bytes;
+    cfg.duration = duration;
+    run_delivery(&cfg).mean_delay
+}
+
+/// Produces the full Fig. 4a (farthest) or 4b (direct) sweep.
+#[must_use]
+pub fn sweep(farthest: bool, duration: Duration) -> Vec<DelayPoint> {
+    let mut out = Vec::new();
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        for (label, bytes) in EVENT_SIZES {
+            for n in 2..=5 {
+                if let Some(mean) = measure(delivery, bytes, n, farthest, duration) {
+                    out.push(DelayPoint {
+                        delivery,
+                        size_label: label,
+                        n_processes: n,
+                        mean_delay: mean,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: Duration = Duration::from_secs(15);
+
+    #[test]
+    fn gapless_delay_grows_with_ring_length() {
+        let d2 = measure(Delivery::Gapless, 4, 2, true, SHORT).unwrap();
+        let d5 = measure(Delivery::Gapless, 4, 5, true, SHORT).unwrap();
+        assert!(
+            d5 > d2,
+            "Gapless must traverse a longer ring at 5 processes: {d2} vs {d5}"
+        );
+    }
+
+    #[test]
+    fn gap_delay_roughly_flat_in_process_count() {
+        let d2 = measure(Delivery::Gap, 4, 2, true, SHORT).unwrap();
+        let d5 = measure(Delivery::Gap, 4, 5, true, SHORT).unwrap();
+        // One forwarding hop regardless of n (modest growth from
+        // keep-alive load is acceptable, 3x is not).
+        assert!(
+            d5.as_micros() < d2.as_micros() * 2,
+            "gap delay exploded: {d2} vs {d5}"
+        );
+    }
+
+    #[test]
+    fn larger_events_take_longer() {
+        let small = measure(Delivery::Gapless, 4, 4, true, SHORT).unwrap();
+        let large = measure(Delivery::Gapless, 20 * 1024, 4, true, SHORT).unwrap();
+        assert!(large > small, "20KB {large} should exceed 4B {small}");
+    }
+
+    #[test]
+    fn direct_receipt_beats_farthest() {
+        let direct = measure(Delivery::Gapless, 4, 5, false, SHORT).unwrap();
+        let farthest = measure(Delivery::Gapless, 4, 5, true, SHORT).unwrap();
+        assert!(direct < farthest, "direct {direct} vs farthest {farthest}");
+        assert!(direct <= Duration::from_millis(3), "Fig 4b range: {direct}");
+    }
+}

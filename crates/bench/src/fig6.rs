@@ -1,0 +1,108 @@
+//! Fig. 6 — percentage of events delivered under sensor-process link
+//! loss.
+//!
+//! Five processes, receivers placed farthest from the app-bearing
+//! process, 4-byte events at 10/s, loss rates up to 50 %, and 1–5
+//! receiving processes. Gap forwards from a single receiver, so it
+//! delivers `1 − loss`; Gapless retrieves events across receivers and
+//! approaches `1 − lossᵐ`.
+
+use rivulet_core::delivery::Delivery;
+use rivulet_types::Duration;
+
+use crate::common::{run_delivery, DeliveryScenario};
+
+/// One cell: fraction of emitted events the application processed.
+#[must_use]
+pub fn delivered_fraction(
+    delivery: Delivery,
+    loss: f64,
+    receiving: usize,
+    duration: Duration,
+    seed: u64,
+) -> f64 {
+    let mut cfg = DeliveryScenario::paper_default(delivery);
+    cfg.loss = loss;
+    cfg.duration = duration;
+    // Receivers are the non-app processes 1..=receiving (app process 0
+    // joins last, at receiving = 5).
+    cfg.receivers = (0..receiving).map(|i| (i + 1) % 5).collect();
+    cfg.receivers.sort_unstable();
+    cfg.seed = seed;
+    run_delivery(&cfg).delivered_fraction()
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct LossPoint {
+    /// Delivery guarantee.
+    pub delivery: Delivery,
+    /// Link loss probability.
+    pub loss: f64,
+    /// Number of receiving processes.
+    pub receiving: usize,
+    /// Fraction delivered.
+    pub fraction: f64,
+}
+
+/// The paper's loss rates.
+pub const LOSS_RATES: [f64; 5] = [0.0001, 0.001, 0.01, 0.10, 0.50];
+
+/// Full figure sweep.
+#[must_use]
+pub fn sweep(duration: Duration, seed: u64) -> Vec<LossPoint> {
+    let mut out = Vec::new();
+    for delivery in [Delivery::Gap, Delivery::Gapless] {
+        for loss in LOSS_RATES {
+            for receiving in [1usize, 2, 4, 5] {
+                out.push(LossPoint {
+                    delivery,
+                    loss,
+                    receiving,
+                    fraction: delivered_fraction(delivery, loss, receiving, duration, seed),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn low_loss_both_deliver_nearly_everything() {
+        for delivery in [Delivery::Gap, Delivery::Gapless] {
+            let f = delivered_fraction(delivery, 0.001, 2, SHORT, 7);
+            assert!(f > 0.98, "{delivery}: {f}");
+        }
+    }
+
+    #[test]
+    fn gap_at_ten_percent_loss_delivers_about_ninety() {
+        let f = delivered_fraction(Delivery::Gap, 0.10, 2, SHORT, 7);
+        assert!((0.85..=0.95).contains(&f), "expected ~0.90, got {f}");
+    }
+
+    #[test]
+    fn gapless_at_ten_percent_loss_recovers_across_receivers() {
+        let f = delivered_fraction(Delivery::Gapless, 0.10, 2, SHORT, 7);
+        assert!(f > 0.97, "expected ~0.99, got {f}");
+    }
+
+    #[test]
+    fn fifty_percent_loss_matches_paper_shape() {
+        // Paper: Gap ≈ 50 %; Gapless ≈ 75 % at two receivers, ~95 % at
+        // five.
+        let gap = delivered_fraction(Delivery::Gap, 0.50, 2, SHORT, 7);
+        assert!((0.42..=0.58).contains(&gap), "gap {gap}");
+        let g2 = delivered_fraction(Delivery::Gapless, 0.50, 2, SHORT, 7);
+        assert!((0.65..=0.85).contains(&g2), "gapless 2rx {g2}");
+        let g5 = delivered_fraction(Delivery::Gapless, 0.50, 5, SHORT, 7);
+        assert!(g5 > 0.90, "gapless 5rx {g5}");
+        assert!(g5 > g2 && g2 > gap, "ordering violated: {gap} {g2} {g5}");
+    }
+}

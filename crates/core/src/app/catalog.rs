@@ -1,0 +1,190 @@
+//! The application survey of Table 1.
+//!
+//! Thirteen representative smart-home applications with their primary
+//! function, sensor types, category, and the delivery guarantee the
+//! paper's study found they require. The `figures` harness renders
+//! this as Table 1; the entries also serve as ready-made workloads.
+
+use crate::delivery::Delivery;
+
+/// Application category from the survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppCategory {
+    /// Energy/comfort efficiency.
+    Efficiency,
+    /// User convenience.
+    Convenience,
+    /// Elder care.
+    ElderCare,
+    /// Life/property safety.
+    Safety,
+    /// Billing accuracy.
+    Billing,
+}
+
+impl std::fmt::Display for AppCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AppCategory::Efficiency => "Efficiency",
+            AppCategory::Convenience => "Convenience",
+            AppCategory::ElderCare => "Elder care",
+            AppCategory::Safety => "Safety",
+            AppCategory::Billing => "Billing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct AppCatalogEntry {
+    /// Application name.
+    pub name: &'static str,
+    /// Primary function.
+    pub function: &'static str,
+    /// Sensor types consumed.
+    pub sensors: &'static str,
+    /// Category.
+    pub category: AppCategory,
+    /// Required delivery guarantee.
+    pub delivery: Delivery,
+}
+
+/// The Table 1 rows.
+#[must_use]
+pub fn table1() -> Vec<AppCatalogEntry> {
+    use AppCategory::*;
+    use Delivery::*;
+    vec![
+        AppCatalogEntry {
+            name: "Occupancy-based HVAC",
+            function: "Set the thermostat set-point based on occupancy",
+            sensors: "occupancy",
+            category: Efficiency,
+            delivery: Gap,
+        },
+        AppCatalogEntry {
+            name: "User-based HVAC",
+            function: "Set the thermostat set-point based on the user's clothing level",
+            sensors: "camera",
+            category: Efficiency,
+            delivery: Gap,
+        },
+        AppCatalogEntry {
+            name: "Automated lighting",
+            function: "Turn on lights if user is present",
+            sensors: "occupancy, camera, microphone",
+            category: Convenience,
+            delivery: Gap,
+        },
+        AppCatalogEntry {
+            name: "Appliance alert",
+            function: "Alert user if appliance is left on while home is unoccupied",
+            sensors: "appliance, whole-house energy",
+            category: Efficiency,
+            delivery: Gap,
+        },
+        AppCatalogEntry {
+            name: "Activity tracking",
+            function: "Periodically infer physical activity using microphone frames",
+            sensors: "microphone",
+            category: Convenience,
+            delivery: Gap,
+        },
+        AppCatalogEntry {
+            name: "Fall alert",
+            function: "Issue alert on a fall-detected event",
+            sensors: "wearables",
+            category: ElderCare,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Inactive alert",
+            function: "Issue alert if motion/activity not detected",
+            sensors: "motion, door-open",
+            category: ElderCare,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Flood/fire alert",
+            function: "Issue alert on a water (or fire) detected event",
+            sensors: "water, smoke",
+            category: Safety,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Intrusion-detection",
+            function: "Record image/issue alert on a door/window-open event",
+            sensors: "door-window",
+            category: Safety,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Energy billing",
+            function: "Update energy cost on a power-consumption event",
+            sensors: "whole-house energy",
+            category: Billing,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Temperature-based HVAC",
+            function: "Actuate heating/cooling if temperature crosses a threshold",
+            sensors: "temperature",
+            category: Efficiency,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Air (or light) monitoring",
+            function: "Issue alert if CO2/CO level surpasses a threshold",
+            sensors: "CO, CO2",
+            category: Safety,
+            delivery: Gapless,
+        },
+        AppCatalogEntry {
+            name: "Surveillance",
+            function: "Record image if it has an unknown object",
+            sensors: "camera",
+            category: Safety,
+            delivery: Gapless,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_as_in_the_paper() {
+        assert_eq!(table1().len(), 13);
+    }
+
+    #[test]
+    fn delivery_split_matches_paper() {
+        let rows = table1();
+        let gap = rows.iter().filter(|r| r.delivery == Delivery::Gap).count();
+        let gapless = rows.iter().filter(|r| r.delivery == Delivery::Gapless).count();
+        assert_eq!(gap, 5);
+        assert_eq!(gapless, 8);
+    }
+
+    #[test]
+    fn safety_and_elder_care_are_always_gapless() {
+        for row in table1() {
+            if matches!(row.category, AppCategory::Safety | AppCategory::ElderCare) {
+                assert_eq!(
+                    row.delivery,
+                    Delivery::Gapless,
+                    "{} must not tolerate gaps",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn categories_render() {
+        assert_eq!(AppCategory::ElderCare.to_string(), "Elder care");
+        assert_eq!(AppCategory::Billing.to_string(), "Billing");
+    }
+}

@@ -1,0 +1,273 @@
+//! Combiners: how triggered windows from multiple inputs merge (§6.1).
+//!
+//! An operator with several input streams declares how they combine
+//! before delivery. [`CombinerSpec::FaultTolerant`] is the paper's
+//! `FTCombiner(f)`: the operator keeps receiving combined windows as
+//! long as at most `f` input streams are silent — the declarative
+//! fault-tolerance knob of Listings 1 and 2. This module also provides
+//! Marzullo's interval-intersection algorithm for fault-tolerant sensor
+//! averaging (§6.2).
+
+/// How an operator's input streams combine at trigger time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinerSpec {
+    /// Deliver only when *every* input stream contributed events.
+    All,
+    /// Deliver whenever any input triggers, with whatever is available.
+    Any,
+    /// The paper's `FTCombiner(f)`: deliver when at least
+    /// `k − tolerate` of the `k` input streams contributed events.
+    FaultTolerant {
+        /// Number of silent input streams the operator tolerates.
+        tolerate: usize,
+    },
+}
+
+impl CombinerSpec {
+    /// Whether delivery should proceed given `available` of `total`
+    /// input streams holding data.
+    #[must_use]
+    pub fn admits(&self, available: usize, total: usize) -> bool {
+        debug_assert!(available <= total);
+        if available == 0 {
+            return false;
+        }
+        match self {
+            CombinerSpec::All => available == total,
+            CombinerSpec::Any => true,
+            CombinerSpec::FaultTolerant { tolerate } => {
+                available >= total.saturating_sub(*tolerate)
+            }
+        }
+    }
+
+    /// `FTCombiner(n−1)`: tolerate all-but-one fail-stop sensors, the
+    /// intrusion-detection setting of Listing 1.
+    #[must_use]
+    pub fn tolerate_fail_stop(n: usize) -> Self {
+        CombinerSpec::FaultTolerant { tolerate: n.saturating_sub(1) }
+    }
+
+    /// `FTCombiner(⌊(n−1)/3⌋)`: tolerate arbitrary (Byzantine) sensor
+    /// failures per Marzullo, the averaging setting of Listing 2.
+    #[must_use]
+    pub fn tolerate_arbitrary(n: usize) -> Self {
+        CombinerSpec::FaultTolerant { tolerate: n.saturating_sub(1) / 3 }
+    }
+}
+
+/// Marzullo's fault-tolerant interval intersection.
+///
+/// Given `n` interval readings of which at most `f` may be faulty,
+/// returns `[l, u]` where `l` is the smallest value contained in at
+/// least `n − f` intervals and `u` the largest such value — the
+/// fault-tolerant "average" of §6.2. Returns `None` when no value is
+/// covered by `n − f` intervals (more than `f` sensors disagree) or
+/// when `f >= n`.
+#[must_use]
+pub fn marzullo(intervals: &[(f64, f64)], f: usize) -> Option<(f64, f64)> {
+    let n = intervals.len();
+    if n == 0 || f >= n {
+        return None;
+    }
+    let quorum = n - f;
+    // Sweep over endpoints: +1 at starts, -1 after ends.
+    let mut points: Vec<(f64, i32)> = Vec::with_capacity(2 * n);
+    for &(lo, hi) in intervals {
+        debug_assert!(lo <= hi, "malformed interval");
+        points.push((lo, 1));
+        points.push((hi, -1));
+    }
+    // At equal coordinates, process starts before ends (closed
+    // intervals: a point equal to one start and another end belongs to
+    // both).
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs").then(b.1.cmp(&a.1)));
+    let mut count = 0;
+    let mut lower = None;
+    let mut upper = None;
+    for &(x, delta) in &points {
+        let before = count;
+        count += delta;
+        if delta > 0 && before < quorum as i32 && count >= quorum as i32 && lower.is_none() {
+            lower = Some(x);
+        }
+        if delta < 0 && before >= quorum as i32 && count < quorum as i32 {
+            upper = Some(x); // last such crossing wins
+        }
+    }
+    match (lower, upper) {
+        (Some(l), Some(u)) if l <= u => Some((l, u)),
+        _ => None,
+    }
+}
+
+/// Convenience: fault-tolerant midpoint of scalar readings, each
+/// widened to `value ± precision`, tolerating `f` faulty sensors.
+#[must_use]
+pub fn marzullo_midpoint(values: &[f64], precision: f64, f: usize) -> Option<f64> {
+    let intervals: Vec<(f64, f64)> =
+        values.iter().map(|v| (v - precision, v + precision)).collect();
+    marzullo(&intervals, f).map(|(l, u)| (l + u) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_requires_every_stream() {
+        assert!(CombinerSpec::All.admits(3, 3));
+        assert!(!CombinerSpec::All.admits(2, 3));
+        assert!(!CombinerSpec::All.admits(0, 3));
+    }
+
+    #[test]
+    fn any_requires_one() {
+        assert!(CombinerSpec::Any.admits(1, 5));
+        assert!(!CombinerSpec::Any.admits(0, 5));
+    }
+
+    #[test]
+    fn ft_combiner_threshold() {
+        let ft = CombinerSpec::FaultTolerant { tolerate: 2 };
+        assert!(ft.admits(3, 5));
+        assert!(ft.admits(5, 5));
+        assert!(!ft.admits(2, 5));
+        // Even tolerate >= total still needs one stream with data.
+        let lax = CombinerSpec::FaultTolerant { tolerate: 9 };
+        assert!(lax.admits(1, 3));
+        assert!(!lax.admits(0, 3));
+    }
+
+    #[test]
+    fn listing_presets() {
+        // Listing 1: n-1 fail-stop tolerance.
+        assert_eq!(
+            CombinerSpec::tolerate_fail_stop(4),
+            CombinerSpec::FaultTolerant { tolerate: 3 }
+        );
+        // Listing 2: ⌊(n−1)/3⌋ arbitrary tolerance.
+        assert_eq!(
+            CombinerSpec::tolerate_arbitrary(4),
+            CombinerSpec::FaultTolerant { tolerate: 1 }
+        );
+        assert_eq!(
+            CombinerSpec::tolerate_arbitrary(10),
+            CombinerSpec::FaultTolerant { tolerate: 3 }
+        );
+        assert_eq!(
+            CombinerSpec::tolerate_arbitrary(1),
+            CombinerSpec::FaultTolerant { tolerate: 0 }
+        );
+    }
+
+    #[test]
+    fn marzullo_agreeing_sensors() {
+        // Three overlapping readings, tolerate one fault.
+        let intervals = [(20.0, 22.0), (20.5, 22.5), (21.0, 23.0)];
+        let (l, u) = marzullo(&intervals, 1).expect("quorum exists");
+        // Values in ≥2 intervals: [20.5, 22.5].
+        assert_eq!((l, u), (20.5, 22.5));
+    }
+
+    #[test]
+    fn marzullo_outlier_is_masked() {
+        // One wild sensor; with f=1 the result ignores it.
+        let intervals = [(20.0, 22.0), (20.5, 22.5), (95.0, 97.0)];
+        let (l, u) = marzullo(&intervals, 1).expect("quorum exists");
+        assert_eq!((l, u), (20.5, 22.0));
+        // With f=0 the three must all overlap — they don't.
+        assert_eq!(marzullo(&intervals, 0), None);
+    }
+
+    #[test]
+    fn marzullo_single_sensor() {
+        assert_eq!(marzullo(&[(1.0, 2.0)], 0), Some((1.0, 2.0)));
+        assert_eq!(marzullo(&[(1.0, 2.0)], 1), None, "f >= n");
+        assert_eq!(marzullo(&[], 0), None);
+    }
+
+    #[test]
+    fn marzullo_touching_endpoints_count_as_overlap() {
+        // Closed intervals sharing exactly one point.
+        let intervals = [(1.0, 2.0), (2.0, 3.0)];
+        assert_eq!(marzullo(&intervals, 0), Some((2.0, 2.0)));
+    }
+
+    #[test]
+    fn marzullo_midpoint_masks_byzantine_reading() {
+        // Temperatures ~21 plus one Byzantine 85; f = ⌊(4-1)/3⌋ = 1.
+        let mid = marzullo_midpoint(&[20.8, 21.0, 21.2, 85.0], 0.5, 1).expect("works");
+        assert!((20.0..=22.0).contains(&mid), "midpoint {mid}");
+    }
+
+    #[test]
+    fn marzullo_disjoint_majority() {
+        // Two camps, f too small to pick either.
+        let intervals = [(1.0, 2.0), (1.2, 2.2), (10.0, 11.0), (10.2, 11.2)];
+        assert_eq!(marzullo(&intervals, 1), None, "no 3-quorum anywhere");
+        // With f=2 the paper's definition spans from the smallest to
+        // the largest 2-quorum-covered value — bridging both camps and
+        // honestly reporting the huge uncertainty.
+        let (l, u) = marzullo(&intervals, 2).expect("2-quorum exists");
+        assert_eq!((l, u), (1.2, 11.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn interval() -> impl Strategy<Value = (f64, f64)> {
+        (-100.0f64..100.0, 0.0f64..10.0).prop_map(|(lo, w)| (lo, lo + w))
+    }
+
+    proptest! {
+        /// Every point in the returned range really is covered by
+        /// ≥ n−f intervals, and the bounds are tight (coverage at l
+        /// and u themselves).
+        #[test]
+        fn marzullo_result_is_quorum_covered(
+            intervals in proptest::collection::vec(interval(), 1..12),
+            f in 0usize..4,
+        ) {
+            prop_assume!(f < intervals.len());
+            let quorum = intervals.len() - f;
+            let cover = |x: f64| {
+                intervals.iter().filter(|(lo, hi)| *lo <= x && x <= *hi).count()
+            };
+            if let Some((l, u)) = marzullo(&intervals, f) {
+                prop_assert!(l <= u);
+                prop_assert!(cover(l) >= quorum, "lower bound not covered");
+                prop_assert!(cover(u) >= quorum, "upper bound not covered");
+            } else {
+                // No point should be quorum-covered: check endpoints,
+                // which are the only candidates for coverage changes.
+                for (lo, hi) in &intervals {
+                    prop_assert!(cover(*lo) < quorum);
+                    prop_assert!(cover(*hi) < quorum);
+                }
+            }
+        }
+
+        /// Increasing f never shrinks the returned interval: tolerating
+        /// more faults can only widen (or keep) the answer.
+        #[test]
+        fn marzullo_monotone_in_f(
+            intervals in proptest::collection::vec(interval(), 2..10),
+        ) {
+            let mut wider: Option<(f64, f64)> = None; // result at larger f
+            for f in (0..intervals.len()).rev() {
+                let cur = marzullo(&intervals, f);
+                if let (Some((cl, cu)), Some((wl, wu))) = (cur, wider) {
+                    prop_assert!(wl <= cl + 1e-9 && cu <= wu + 1e-9,
+                        "smaller f must be contained in larger f's interval");
+                }
+                if cur.is_some() {
+                    wider = cur;
+                }
+            }
+        }
+    }
+}

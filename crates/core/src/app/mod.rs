@@ -1,0 +1,20 @@
+//! The Rivulet programming model (§6): apps as DAGs of operators over
+//! windows, with declarative delivery guarantees and fault-tolerance
+//! assumptions.
+
+pub mod catalog;
+pub mod combiner;
+pub mod graph;
+pub mod operator;
+pub mod runtime;
+pub mod window;
+
+pub use combiner::{marzullo, marzullo_midpoint, CombinerSpec};
+pub use graph::{AppBuilder, AppError, AppSpec, InputSpec, OperatorSpec, PollSpec};
+pub use operator::{
+    AlertOnEvent, CombinedWindows, InactivityAlert, InputWindow, LogicHandle,
+    MarzulloAverage, OpCtx, OpOutput, OperatorLogic, StreamKey, SwitchOnEvents,
+    ThresholdHvac,
+};
+pub use runtime::{AppRuntime, RuntimeOutput};
+pub use window::{EvictorPolicy, TriggerPolicy, Window, WindowBound, WindowSpec};

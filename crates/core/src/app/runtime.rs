@@ -1,0 +1,504 @@
+//! The in-logic-node execution engine.
+//!
+//! [`AppRuntime`] is the machinery inside an *active* logic node: it
+//! buffers delivered events into per-(operator, stream) windows,
+//! evaluates triggers and combiners, invokes handler logic, and
+//! cascades emitted values through the operator DAG. Shadow logic
+//! nodes hold no runtime — they are placeholders (§3.3); a promotion
+//! constructs a fresh runtime and replays outstanding events into it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rivulet_types::{Duration, Event, EventId, EventKind, OperatorId, Payload, SensorId, Time};
+
+use super::graph::{AppError, AppSpec};
+use super::operator::{CombinedWindows, InputWindow, OpCtx, OpOutput, StreamKey};
+use super::window::Window;
+
+/// An output produced by the runtime, attributed to its operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOutput {
+    /// The operator that produced the output.
+    pub operator: OperatorId,
+    /// The output itself.
+    pub output: OpOutput,
+}
+
+/// Synthetic sensor-id namespace for operator emissions (events flowing
+/// on operator→operator edges). Kept well above realistic device ids.
+const DERIVED_SENSOR_BASE: u32 = 0x8000_0000;
+
+/// The executable instantiation of an [`AppSpec`].
+pub struct AppRuntime {
+    spec: Arc<AppSpec>,
+    windows: HashMap<(OperatorId, StreamKey), Window>,
+    emit_seq: HashMap<OperatorId, u64>,
+    events_processed: u64,
+    stale_drops: u64,
+}
+
+impl std::fmt::Debug for AppRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppRuntime")
+            .field("app", &self.spec.name)
+            .field("windows", &self.windows.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl AppRuntime {
+    /// Instantiates the runtime for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AppError`] if the graph is malformed.
+    pub fn new(spec: Arc<AppSpec>) -> Result<Self, AppError> {
+        spec.validate()?;
+        let mut windows = HashMap::new();
+        for op in &spec.operators {
+            for input in &op.inputs {
+                windows.insert(
+                    (op.id, StreamKey::Sensor(input.sensor)),
+                    Window::new(input.window.clone()),
+                );
+            }
+            for (up, wspec) in &op.upstreams {
+                windows.insert((op.id, StreamKey::Operator(*up)), Window::new(wspec.clone()));
+            }
+        }
+        Ok(Self {
+            spec,
+            windows,
+            emit_seq: HashMap::new(),
+            events_processed: 0,
+            stale_drops: 0,
+        })
+    }
+
+    /// The app being executed.
+    #[must_use]
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Total events pushed into the runtime.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Events rejected by a per-input staleness bound (§6).
+    #[must_use]
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// The time-triggered windows the host must arm repeating timers
+    /// for: `(operator, stream, period)` triples.
+    #[must_use]
+    pub fn timer_streams(&self) -> Vec<(OperatorId, StreamKey, Duration)> {
+        let mut out: Vec<(OperatorId, StreamKey, Duration)> = self
+            .windows
+            .iter()
+            .filter_map(|((op, key), w)| w.timer_period().map(|d| (*op, *key, d)))
+            .collect();
+        out.sort_by_key(|(op, key, _)| (*op, *key));
+        out
+    }
+
+    /// Whether any operator consumes `sensor`.
+    #[must_use]
+    pub fn subscribes_to(&self, sensor: SensorId) -> bool {
+        self.windows.contains_key(&(OperatorId(0), StreamKey::Sensor(sensor)))
+            || self
+                .windows
+                .keys()
+                .any(|(_, key)| *key == StreamKey::Sensor(sensor))
+    }
+
+    /// Delivers a sensor event to every subscribing operator window,
+    /// firing any count triggers (and cascading).
+    pub fn on_event(&mut self, now: Time, event: &Event) -> Vec<RuntimeOutput> {
+        self.events_processed += 1;
+        let key = StreamKey::Sensor(event.id.sensor);
+        let subscribers: Vec<(OperatorId, Option<Duration>)> = self
+            .spec
+            .operators
+            .iter()
+            .filter_map(|o| {
+                o.inputs
+                    .iter()
+                    .find(|i| i.sensor == event.id.sensor)
+                    .map(|i| (o.id, i.staleness_bound))
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for (op, bound) in subscribers {
+            if let Some(bound) = bound {
+                if event.staleness(now) > bound {
+                    self.stale_drops += 1;
+                    continue;
+                }
+            }
+            let fired = self
+                .windows
+                .get_mut(&(op, key))
+                .map(|w| w.push(event.clone(), now))
+                .unwrap_or(false);
+            if fired {
+                self.fire(now, op, key, &mut outputs);
+            }
+        }
+        outputs
+    }
+
+    /// A time trigger for `(operator, stream)` elapsed.
+    pub fn on_time_trigger(
+        &mut self,
+        now: Time,
+        operator: OperatorId,
+        stream: StreamKey,
+    ) -> Vec<RuntimeOutput> {
+        let mut outputs = Vec::new();
+        if self.windows.contains_key(&(operator, stream)) {
+            self.fire(now, operator, stream, &mut outputs);
+        }
+        outputs
+    }
+
+    /// A Gapless poll-based input missed an entire epoch (§4.1's
+    /// exception): inform every subscribing operator.
+    pub fn on_epoch_miss(&mut self, now: Time, sensor: SensorId) -> Vec<RuntimeOutput> {
+        let mut outputs = Vec::new();
+        for op in &self.spec.operators {
+            if op.inputs.iter().any(|i| i.sensor == sensor) {
+                let mut ctx = OpCtx::new(now);
+                op.logic.on_epoch_miss(&mut ctx, sensor);
+                outputs.extend(
+                    ctx.into_outputs()
+                        .into_iter()
+                        .map(|output| RuntimeOutput { operator: op.id, output }),
+                );
+            }
+        }
+        outputs
+    }
+
+    /// Evaluates one trigger: snapshot the triggering stream, peek the
+    /// others, consult the combiner, run the logic, route emissions.
+    fn fire(
+        &mut self,
+        now: Time,
+        operator: OperatorId,
+        triggering: StreamKey,
+        outputs: &mut Vec<RuntimeOutput>,
+    ) {
+        let op = self
+            .spec
+            .operator(operator)
+            .expect("fire() on unknown operator")
+            .clone();
+        // Gather per-stream contributions.
+        let mut inputs = Vec::new();
+        let mut stream_keys: Vec<StreamKey> =
+            op.inputs.iter().map(|i| StreamKey::Sensor(i.sensor)).collect();
+        stream_keys.extend(op.upstreams.iter().map(|(u, _)| StreamKey::Operator(*u)));
+        for key in stream_keys {
+            let window = self.windows.get_mut(&(operator, key)).expect("window exists");
+            let events =
+                if key == triggering { window.snapshot(now) } else { window.peek(now) };
+            inputs.push(InputWindow { source: key, events });
+        }
+        let combined = CombinedWindows { inputs };
+        let total = combined.inputs.len();
+        let available = combined.available_streams();
+        let mut ctx = OpCtx::new(now);
+        if available == 0 {
+            // A time trigger elapsed in total silence.
+            op.logic.on_silence(&mut ctx);
+        } else if op.combiner.admits(available, total) {
+            op.logic.on_windows(&mut ctx, &combined);
+        } else {
+            // Below the fault-tolerance quorum: suppress delivery.
+            return;
+        }
+        for output in ctx.into_outputs() {
+            match output {
+                OpOutput::Emit { value } => {
+                    outputs.push(RuntimeOutput {
+                        operator,
+                        output: OpOutput::Emit { value },
+                    });
+                    self.route_emission(now, operator, value, outputs);
+                }
+                other => outputs.push(RuntimeOutput { operator, output: other }),
+            }
+        }
+    }
+
+    /// Pushes an emitted value into downstream operator windows.
+    fn route_emission(
+        &mut self,
+        now: Time,
+        from: OperatorId,
+        value: f64,
+        outputs: &mut Vec<RuntimeOutput>,
+    ) {
+        let seq = self.emit_seq.entry(from).or_insert(0);
+        let event = Event::with_payload(
+            EventId::new(SensorId(DERIVED_SENSOR_BASE | from.0), *seq),
+            EventKind::Reading,
+            Payload::Scalar(value),
+            now,
+        );
+        *seq += 1;
+        let key = StreamKey::Operator(from);
+        let downstream: Vec<OperatorId> = self
+            .spec
+            .operators
+            .iter()
+            .filter(|o| o.upstreams.iter().any(|(u, _)| *u == from))
+            .map(|o| o.id)
+            .collect();
+        for op in downstream {
+            let fired = self
+                .windows
+                .get_mut(&(op, key))
+                .map(|w| w.push(event.clone(), now))
+                .unwrap_or(false);
+            if fired {
+                self.fire(now, op, key, outputs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::combiner::CombinerSpec;
+    use crate::app::graph::AppBuilder;
+    use crate::app::operator::{
+        AlertOnEvent, MarzulloAverage, SwitchOnEvents, ThresholdHvac,
+    };
+    use crate::app::window::WindowSpec;
+    use crate::delivery::Delivery;
+    use rivulet_types::{ActuatorId, AppId, CommandKind};
+
+    fn ev(sensor: u32, seq: u64, kind: EventKind, value: Option<f64>) -> Event {
+        let payload = value.map_or(Payload::Empty, Payload::Scalar);
+        Event::with_payload(
+            EventId::new(SensorId(sensor), seq),
+            kind,
+            payload,
+            Time::from_millis(seq),
+        )
+    }
+
+    /// The §3.2 door-light app end to end inside the runtime.
+    #[test]
+    fn door_light_pipeline() {
+        let app = AppBuilder::new(AppId(1), "door-light")
+            .operator(
+                "TurnLightOnOff",
+                CombinerSpec::Any,
+                SwitchOnEvents {
+                    on_kinds: vec![EventKind::DoorOpen],
+                    off_kinds: vec![EventKind::DoorClose],
+                    actuator: ActuatorId(1),
+                },
+            )
+            .sensor(SensorId(1), Delivery::Gapless, WindowSpec::count(1))
+            .actuator(ActuatorId(1), Delivery::Gapless)
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        let out = rt.on_event(Time::from_millis(1), &ev(1, 0, EventKind::DoorOpen, None));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0].output,
+            OpOutput::Actuate { actuator: ActuatorId(1), kind: CommandKind::Set(s) }
+                if *s == rivulet_types::ActuationState::Switch(true)
+        ));
+        let out = rt.on_event(Time::from_millis(2), &ev(1, 1, EventKind::DoorClose, None));
+        assert!(matches!(
+            &out[0].output,
+            OpOutput::Actuate { kind: CommandKind::Set(s), .. }
+                if *s == rivulet_types::ActuationState::Switch(false)
+        ));
+        assert_eq!(rt.events_processed(), 2);
+    }
+
+    /// Listing 2's averaging chain: sensors → Marzullo avg → HVAC.
+    #[test]
+    fn averaging_cascades_to_hvac() {
+        let builder = AppBuilder::new(AppId(2), "avg-hvac");
+        let mut opb = builder.operator(
+            "Averaging",
+            CombinerSpec::tolerate_arbitrary(4),
+            MarzulloAverage { precision: 0.5, tolerate: 1 },
+        );
+        for s in 0..4u32 {
+            opb = opb.sensor(
+                SensorId(s),
+                Delivery::Gap,
+                WindowSpec::count(1).sliding(),
+            );
+        }
+        let app = opb.done();
+        let avg = OperatorId(0);
+        let app = app
+            .operator(
+                "Hvac",
+                CombinerSpec::Any,
+                ThresholdHvac { low: 18.0, high: 26.0, hvac: ActuatorId(9) },
+            )
+            .upstream(avg, WindowSpec::count(1))
+            .actuator(ActuatorId(9), Delivery::Gap)
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        // Three cold readings and one Byzantine outlier.
+        let mut outputs = Vec::new();
+        for (i, v) in [(0u32, 15.0), (1, 15.2), (2, 14.9), (3, 90.0)] {
+            outputs = rt.on_event(
+                Time::from_millis(u64::from(i)),
+                &ev(i, 0, EventKind::Reading, Some(v)),
+            );
+        }
+        // The final event triggers the average (count-1 sliding windows
+        // fire on each event; by the fourth, all streams have data),
+        // which emits ~15 and cascades into the HVAC setting 18.0.
+        let emits: Vec<&RuntimeOutput> = outputs
+            .iter()
+            .filter(|o| matches!(o.output, OpOutput::Emit { .. }))
+            .collect();
+        assert!(!emits.is_empty(), "averaging emitted");
+        let actuations: Vec<&RuntimeOutput> = outputs
+            .iter()
+            .filter(|o| matches!(o.output, OpOutput::Actuate { .. }))
+            .collect();
+        assert_eq!(actuations.len(), 1, "HVAC actuated once: {outputs:?}");
+        assert!(matches!(
+            &actuations[0].output,
+            OpOutput::Actuate { actuator: ActuatorId(9), kind: CommandKind::Set(s) }
+                if *s == rivulet_types::ActuationState::Level(18.0)
+        ));
+    }
+
+    #[test]
+    fn ft_combiner_blocks_below_quorum() {
+        // Two sensors, FTCombiner(0): both streams must contribute.
+        let app = AppBuilder::new(AppId(3), "strict")
+            .operator(
+                "needs-both",
+                CombinerSpec::FaultTolerant { tolerate: 0 },
+                AlertOnEvent { message: "pair".into(), siren: None },
+            )
+            .sensor(SensorId(1), Delivery::Gap, WindowSpec::count(1).sliding())
+            .sensor(SensorId(2), Delivery::Gap, WindowSpec::count(1).sliding())
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        let out = rt.on_event(Time::ZERO, &ev(1, 0, EventKind::Motion, None));
+        assert!(out.is_empty(), "only one stream available: suppressed");
+        // Second stream arrives: its trigger sees both.
+        let out = rt.on_event(Time::ZERO, &ev(2, 0, EventKind::Motion, None));
+        assert!(!out.is_empty(), "quorum met");
+    }
+
+    #[test]
+    fn time_trigger_and_silence_path() {
+        use crate::app::operator::InactivityAlert;
+        let app = AppBuilder::new(AppId(4), "inactive")
+            .operator(
+                "watch",
+                CombinerSpec::Any,
+                InactivityAlert { message: "no activity today".into() },
+            )
+            .sensor(
+                SensorId(1),
+                Delivery::Gapless,
+                WindowSpec::time(Duration::from_secs(60)),
+            )
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        let timers = rt.timer_streams();
+        assert_eq!(timers.len(), 1);
+        let (op, stream, period) = timers[0];
+        assert_eq!(period, Duration::from_secs(60));
+        // Window elapses empty → silence alert.
+        let out = rt.on_time_trigger(Time::from_secs(60), op, stream);
+        assert!(matches!(&out[0].output, OpOutput::Alert { message } if message.contains("no activity")));
+        // With recent activity (emitted within the 60 s span), no alert.
+        let _ = rt.on_event(Time::from_secs(70), &ev(1, 70_000, EventKind::Motion, None));
+        let out = rt.on_time_trigger(Time::from_secs(120), op, stream);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn epoch_miss_reaches_subscribers_only() {
+        struct MissLogic;
+        impl crate::app::operator::OperatorLogic for MissLogic {
+            fn on_windows(&self, _: &mut OpCtx, _: &CombinedWindows) {}
+            fn on_epoch_miss(&self, ctx: &mut OpCtx, sensor: SensorId) {
+                ctx.alert(format!("missed epoch of {sensor}"));
+            }
+        }
+        let app = AppBuilder::new(AppId(5), "miss")
+            .operator("m", CombinerSpec::Any, MissLogic)
+            .sensor(SensorId(7), Delivery::Gapless, WindowSpec::count(1))
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        let out = rt.on_epoch_miss(Time::ZERO, SensorId(7));
+        assert_eq!(out.len(), 1);
+        assert!(rt.on_epoch_miss(Time::ZERO, SensorId(8)).is_empty(), "not subscribed");
+    }
+
+    #[test]
+    fn staleness_bound_rejects_old_events() {
+        let app = AppBuilder::new(AppId(7), "fresh-only")
+            .operator(
+                "op",
+                CombinerSpec::Any,
+                AlertOnEvent { message: "x".into(), siren: None },
+            )
+            .sensor(SensorId(1), Delivery::Gap, WindowSpec::count(1))
+            .staleness_bound(Duration::from_secs(5))
+            .done()
+            .build()
+            .unwrap();
+        let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
+        // Fresh event (emitted 1s ago): accepted.
+        let fresh = ev(1, 9_000, EventKind::Motion, None);
+        let out = rt.on_event(Time::from_secs(10), &fresh);
+        assert_eq!(out.len(), 1);
+        // Stale event (emitted 20s ago): dropped before the window.
+        let stale = ev(1, 0, EventKind::Motion, None);
+        let out = rt.on_event(Time::from_secs(20), &stale);
+        assert!(out.is_empty());
+        assert_eq!(rt.stale_drops(), 1);
+    }
+
+    #[test]
+    fn subscribes_to_reports_wiring() {
+        let app = AppBuilder::new(AppId(6), "subs")
+            .operator("op", CombinerSpec::Any, AlertOnEvent { message: "x".into(), siren: None })
+            .sensor(SensorId(3), Delivery::Gap, WindowSpec::count(1))
+            .done()
+            .build()
+            .unwrap();
+        let rt = AppRuntime::new(Arc::new(app)).unwrap();
+        assert!(rt.subscribes_to(SensorId(3)));
+        assert!(!rt.subscribes_to(SensorId(4)));
+    }
+}

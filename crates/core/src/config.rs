@@ -1,0 +1,127 @@
+//! Platform configuration.
+
+use rivulet_types::Duration;
+
+/// How Gapless replicates ingested events across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// The paper's ring protocol with reliable-broadcast fallback
+    /// (§4.1): n messages in the failure-free case.
+    Ring,
+    /// The Fig. 5 baseline: every process that receives an event from
+    /// the sensor broadcasts it to all peers unless it already received
+    /// it from another process — O(m·n) messages for m receivers.
+    EagerBroadcast,
+}
+
+/// Tunable parameters of a Rivulet process.
+///
+/// Defaults follow the paper's evaluation setup: keep-alives every
+/// 500 ms and a 2-second failure-detection threshold (§8.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RivuletConfig {
+    /// Interval between keep-alive messages to every peer (§4.1's
+    /// "every *t* seconds").
+    pub keepalive_interval: Duration,
+    /// Silence threshold after which a peer is suspected crashed. The
+    /// evaluation uses 2 s, producing the ~20-event gap of Fig. 7.
+    pub failure_timeout: Duration,
+    /// Interval between reliable-broadcast retransmissions for
+    /// unacknowledged events.
+    pub rbcast_retransmit: Duration,
+    /// Whether a process that gains a new ring successor synchronizes
+    /// its event store with it (§4.1, Bayou-style). Disabling this is
+    /// an ablation that demonstrates permanent gaps after partitions.
+    pub anti_entropy: bool,
+    /// Cap on events retained per sensor in the replication store;
+    /// oldest events are evicted first. Home-scale memory bound.
+    pub store_cap_per_sensor: usize,
+    /// Extra wait beyond a sensor's poll latency before a poll is
+    /// considered failed and retried (Gapless polling only).
+    pub repoll_margin: Duration,
+    /// Gapless replication protocol (ring, or the broadcast baseline
+    /// used for the Fig. 5 comparison).
+    pub forwarding: ForwardingMode,
+    /// Whether replicated events below the home-wide processed
+    /// watermark are garbage-collected from the store each tick. They
+    /// can never be needed by a failover replay again; disabling this
+    /// keeps full history (useful for debugging).
+    pub store_gc: bool,
+}
+
+impl Default for RivuletConfig {
+    fn default() -> Self {
+        Self {
+            keepalive_interval: Duration::from_millis(500),
+            failure_timeout: Duration::from_secs(2),
+            rbcast_retransmit: Duration::from_millis(500),
+            anti_entropy: true,
+            store_cap_per_sensor: 100_000,
+            repoll_margin: Duration::from_millis(200),
+            forwarding: ForwardingMode::Ring,
+            store_gc: true,
+        }
+    }
+}
+
+impl RivuletConfig {
+    /// Returns a config with the failure-detection threshold replaced.
+    #[must_use]
+    pub fn with_failure_timeout(mut self, timeout: Duration) -> Self {
+        self.failure_timeout = timeout;
+        self
+    }
+
+    /// Returns a config with anti-entropy enabled or disabled.
+    #[must_use]
+    pub fn with_anti_entropy(mut self, enabled: bool) -> Self {
+        self.anti_entropy = enabled;
+        self
+    }
+
+    /// Returns a config with the keep-alive interval replaced.
+    #[must_use]
+    pub fn with_keepalive_interval(mut self, interval: Duration) -> Self {
+        self.keepalive_interval = interval;
+        self
+    }
+
+    /// Returns a config with the Gapless forwarding mode replaced.
+    #[must_use]
+    pub fn with_forwarding(mut self, mode: ForwardingMode) -> Self {
+        self.forwarding = mode;
+        self
+    }
+
+    /// Returns a config with store garbage collection enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_store_gc(mut self, enabled: bool) -> Self {
+        self.store_gc = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RivuletConfig::default();
+        assert_eq!(c.failure_timeout, Duration::from_secs(2));
+        assert_eq!(c.keepalive_interval, Duration::from_millis(500));
+        assert!(c.anti_entropy);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = RivuletConfig::default()
+            .with_failure_timeout(Duration::from_secs(5))
+            .with_anti_entropy(false)
+            .with_keepalive_interval(Duration::from_millis(250));
+        assert_eq!(c.failure_timeout, Duration::from_secs(5));
+        assert!(!c.anti_entropy);
+        assert_eq!(c.keepalive_interval, Duration::from_millis(250));
+    }
+}

@@ -1,0 +1,461 @@
+//! The Gapless ring protocol (§4.1).
+//!
+//! Gapless delivery guarantees that any event received from a sensor by
+//! any correct process is eventually delivered to, and processed by,
+//! interested applications. Rivulet achieves this optimistically: a
+//! light-weight **ring** circulates each event once around the local
+//! views (n messages instead of the O(m·n) of broadcasting from every
+//! receiving process), and only when the ring detects trouble does the
+//! protocol fall back to reliable broadcast.
+//!
+//! The ring message is the paper's `(e : S : V)` triple — the event,
+//! the processes that have *seen* it, and the processes that *need* it.
+//! The fallback trigger is exactly the paper's condition: a process
+//! that receives an event it has already seen, with `S ≠ V` and itself
+//! in `S`, knows the ring stalled before covering `V`, and broadcasts.
+
+use rivulet_types::{Event, ProcessId, SensorId};
+
+use crate::messages::ProcMsg;
+use crate::store::EventStore;
+
+use super::Action;
+
+/// Outcome of processing one Gapless input.
+#[derive(Debug, Default)]
+pub struct GaplessOutcome {
+    /// Effects to apply (sends, local delivery).
+    pub actions: Vec<Action>,
+    /// If set, the caller must initiate reliable broadcast of this
+    /// event (the ring detected a stall).
+    pub start_broadcast: Option<Event>,
+}
+
+/// One process's Gapless protocol state.
+#[derive(Debug)]
+pub struct GaplessState {
+    me: ProcessId,
+    store: EventStore,
+    /// The successor we last synchronized with; a change triggers
+    /// Bayou-style anti-entropy (§4.1).
+    synced_successor: Option<ProcessId>,
+    anti_entropy: bool,
+}
+
+impl GaplessState {
+    /// Creates Gapless state for process `me`.
+    #[must_use]
+    pub fn new(me: ProcessId, store_cap_per_sensor: usize, anti_entropy: bool) -> Self {
+        Self {
+            me,
+            store: EventStore::new(store_cap_per_sensor),
+            synced_successor: None,
+            anti_entropy,
+        }
+    }
+
+    /// Read access to the replicated event store.
+    #[must_use]
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// Mutable access to the replicated event store (watermark GC).
+    pub fn store_mut(&mut self) -> &mut EventStore {
+        &mut self.store
+    }
+
+    /// Whether this process has seen `event` (used by polling
+    /// cancellation and tests).
+    #[must_use]
+    pub fn seen(&self, event: &Event) -> bool {
+        self.store.seen(event.id)
+    }
+
+    /// Highest sequence stored for `sensor`.
+    #[must_use]
+    pub fn watermark(&self, sensor: SensorId) -> Option<u64> {
+        self.store.watermark(sensor)
+    }
+
+    /// An event arrived directly from the physical sensor at this
+    /// process (via an adapter). `view` is the local view `vᵢ` and
+    /// `successor` the ring successor (None when alone).
+    pub fn on_local_ingest(
+        &mut self,
+        event: Event,
+        view: &[ProcessId],
+        successor: Option<ProcessId>,
+    ) -> GaplessOutcome {
+        let mut out = GaplessOutcome::default();
+        if !self.store.insert(event.clone()) {
+            // Already known (e.g. the ring beat the radio): nothing to do.
+            return out;
+        }
+        out.actions.push(Action::Deliver { event: event.clone() });
+        if let Some(succ) = successor {
+            out.actions.push(Action::Send {
+                to: succ,
+                msg: ProcMsg::Ring {
+                    event,
+                    seen: vec![self.me],
+                    need: view.to_vec(),
+                },
+            });
+        }
+        out
+    }
+
+    /// A ring message `(event : seen : need)` arrived from a peer.
+    pub fn on_ring(
+        &mut self,
+        event: Event,
+        seen: Vec<ProcessId>,
+        need: Vec<ProcessId>,
+        view: &[ProcessId],
+        successor: Option<ProcessId>,
+    ) -> GaplessOutcome {
+        let mut out = GaplessOutcome::default();
+        if self.store.insert(event.clone()) {
+            // First sighting: deliver locally and keep the ring moving,
+            // extending S with ourselves and V with our own view.
+            out.actions.push(Action::Deliver { event: event.clone() });
+            if let Some(succ) = successor {
+                let mut new_seen = seen;
+                if !new_seen.contains(&self.me) {
+                    new_seen.push(self.me);
+                }
+                new_seen.sort_unstable();
+                let mut new_need = need;
+                for p in view {
+                    if !new_need.contains(p) {
+                        new_need.push(*p);
+                    }
+                }
+                new_need.sort_unstable();
+                out.actions.push(Action::Send {
+                    to: succ,
+                    msg: ProcMsg::Ring { event, seen: new_seen, need: new_need },
+                });
+            }
+            return out;
+        }
+        // Already seen. The paper's stall test: S ≠ V and me ∈ S means
+        // we forwarded this event before, yet it has not reached every
+        // process some view said it should — fall back to broadcast.
+        let mut seen_sorted = seen;
+        seen_sorted.sort_unstable();
+        let mut need_sorted = need;
+        need_sorted.sort_unstable();
+        if seen_sorted != need_sorted && seen_sorted.contains(&self.me) {
+            out.start_broadcast = Some(event);
+        }
+        out
+    }
+
+    /// A reliable-broadcast copy of an event arrived. Returns delivery
+    /// action if it was new; the caller separately acks the origin.
+    pub fn on_broadcast_copy(&mut self, event: Event) -> Option<Action> {
+        if self.store.insert(event.clone()) {
+            Some(Action::Deliver { event })
+        } else {
+            None
+        }
+    }
+
+    /// The ring successor changed (membership view update). Returns the
+    /// sync request to send, if anti-entropy is enabled and the
+    /// successor is new.
+    pub fn on_successor_change(&mut self, successor: Option<ProcessId>) -> Option<Action> {
+        if self.synced_successor == successor {
+            return None;
+        }
+        self.synced_successor = successor;
+        let succ = successor?;
+        if !self.anti_entropy {
+            return None;
+        }
+        Some(Action::Send { to: succ, msg: ProcMsg::SyncRequest { from: self.me } })
+    }
+
+    /// A peer asked for our per-sensor watermarks.
+    #[must_use]
+    pub fn on_sync_request(&self, from: ProcessId) -> Action {
+        Action::Send {
+            to: from,
+            msg: ProcMsg::SyncReply { from: self.me, watermarks: self.store.watermarks() },
+        }
+    }
+
+    /// The successor replied with its watermarks; ship it everything it
+    /// is missing (nothing to send returns `None`).
+    #[must_use]
+    pub fn on_sync_reply(
+        &self,
+        from: ProcessId,
+        watermarks: &[(SensorId, u64)],
+    ) -> Option<Action> {
+        let diff = self.store.diff_for(watermarks);
+        if diff.is_empty() {
+            return None;
+        }
+        Some(Action::Send { to: from, msg: ProcMsg::SyncEvents { events: diff } })
+    }
+
+    /// Missing events arrived from a predecessor's sync. New ones are
+    /// delivered locally (they do not re-enter the ring: the sender is
+    /// responsible for its own successor chain).
+    pub fn on_sync_events(&mut self, events: Vec<Event>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for event in events {
+            if self.store.insert(event.clone()) {
+                actions.push(Action::Deliver { event });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::{EventId, EventKind, Time};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(EventId::new(SensorId(7), seq), EventKind::Motion, Time::from_millis(seq))
+    }
+
+    fn pids(ids: &[u32]) -> Vec<ProcessId> {
+        ids.iter().map(|i| ProcessId(*i)).collect()
+    }
+
+    fn deliver_count(actions: &[Action]) -> usize {
+        actions.iter().filter(|a| matches!(a, Action::Deliver { .. })).count()
+    }
+
+    #[test]
+    fn local_ingest_delivers_and_forwards_to_successor() {
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        let view = pids(&[0, 1, 2]);
+        let out = g.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        assert!(out.start_broadcast.is_none());
+        assert_eq!(deliver_count(&out.actions), 1);
+        match &out.actions[1] {
+            Action::Send { to, msg: ProcMsg::Ring { seen, need, .. } } => {
+                assert_eq!(*to, ProcessId(1));
+                assert_eq!(*seen, pids(&[0]));
+                assert_eq!(*need, view);
+            }
+            other => panic!("expected ring send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_local_ingest_is_silent() {
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        let view = pids(&[0, 1]);
+        let _ = g.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        let out = g.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        assert!(out.actions.is_empty());
+        assert!(out.start_broadcast.is_none());
+    }
+
+    #[test]
+    fn singleton_home_just_delivers() {
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        let out = g.on_local_ingest(ev(0), &pids(&[0]), None);
+        assert_eq!(deliver_count(&out.actions), 1);
+        assert_eq!(out.actions.len(), 1, "no sends when alone");
+    }
+
+    #[test]
+    fn ring_extends_seen_and_need_and_forwards() {
+        let mut g = GaplessState::new(ProcessId(1), 100, true);
+        // p1's view knows p3, which the sender's view did not.
+        let view = pids(&[0, 1, 3]);
+        let out = g.on_ring(ev(0), pids(&[0]), pids(&[0, 1]), &view, Some(ProcessId(3)));
+        assert_eq!(deliver_count(&out.actions), 1);
+        match &out.actions[1] {
+            Action::Send { to, msg: ProcMsg::Ring { seen, need, .. } } => {
+                assert_eq!(*to, ProcessId(3));
+                assert_eq!(*seen, pids(&[0, 1]));
+                assert_eq!(*need, pids(&[0, 1, 3]), "need extended with our view");
+            }
+            other => panic!("expected ring send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completed_ring_is_ignored() {
+        // p0 ingests, then receives its own event back with S == V.
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        let view = pids(&[0, 1, 2]);
+        let _ = g.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        let out = g.on_ring(ev(0), view.clone(), view.clone(), &view, Some(ProcessId(1)));
+        assert!(out.actions.is_empty());
+        assert!(out.start_broadcast.is_none(), "S == V means all covered");
+    }
+
+    #[test]
+    fn stalled_ring_triggers_broadcast() {
+        // Paper's condition: seen event again, S != V, me ∈ S.
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        let view = pids(&[0, 1, 2]);
+        let _ = g.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        let out = g.on_ring(
+            ev(0),
+            pids(&[0, 1]),
+            pids(&[0, 1, 2]),
+            &view,
+            Some(ProcessId(1)),
+        );
+        assert_eq!(out.start_broadcast, Some(ev(0)));
+    }
+
+    #[test]
+    fn seen_event_not_in_seen_set_is_ignored() {
+        // A duplicate receipt where we are NOT in S (we ingested from
+        // the sensor but never forwarded this ring copy): another
+        // process's ring is still progressing — do not broadcast.
+        let mut g = GaplessState::new(ProcessId(2), 100, true);
+        let view = pids(&[0, 1, 2]);
+        let _ = g.on_local_ingest(ev(0), &view, Some(ProcessId(0)));
+        let out = g.on_ring(ev(0), pids(&[0, 1]), pids(&[0, 1, 2]), &view, Some(ProcessId(0)));
+        assert!(out.start_broadcast.is_none());
+        assert!(out.actions.is_empty());
+    }
+
+    #[test]
+    fn three_process_ring_full_cycle_no_failures() {
+        // End-to-end hand simulation: sensor → p0 only; verify everyone
+        // delivers exactly once with exactly n ring messages.
+        let view = pids(&[0, 1, 2]);
+        let mut p0 = GaplessState::new(ProcessId(0), 100, true);
+        let mut p1 = GaplessState::new(ProcessId(1), 100, true);
+        let mut p2 = GaplessState::new(ProcessId(2), 100, true);
+
+        let out0 = p0.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
+            out0.actions[1].clone()
+        else {
+            panic!()
+        };
+        let out1 = p1.on_ring(event, seen, need, &view, Some(ProcessId(2)));
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
+            out1.actions[1].clone()
+        else {
+            panic!()
+        };
+        let out2 = p2.on_ring(event, seen, need, &view, Some(ProcessId(0)));
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, to } =
+            out2.actions[1].clone()
+        else {
+            panic!()
+        };
+        assert_eq!(to, ProcessId(0));
+        // Ring returns to p0: S == V == {0,1,2} → silent completion.
+        let back = p0.on_ring(event, seen, need, &view, Some(ProcessId(1)));
+        assert!(back.actions.is_empty());
+        assert!(back.start_broadcast.is_none());
+        assert!(p0.seen(&ev(0)) && p1.seen(&ev(0)) && p2.seen(&ev(0)));
+    }
+
+    #[test]
+    fn multi_receiver_rings_do_not_broadcast() {
+        // Both p0 and p1 receive the event from the sensor (multicast)
+        // and start rings; no false broadcast should fire.
+        let view = pids(&[0, 1, 2]);
+        let mut p0 = GaplessState::new(ProcessId(0), 100, true);
+        let mut p1 = GaplessState::new(ProcessId(1), 100, true);
+        let mut p2 = GaplessState::new(ProcessId(2), 100, true);
+
+        let o0 = p0.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
+        let o1 = p1.on_local_ingest(ev(0), &view, Some(ProcessId(2)));
+        // p1 receives p0's ring copy: already seen, S={0}, p1 ∉ S → ignore.
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
+            o0.actions[1].clone()
+        else {
+            panic!()
+        };
+        let r = p1.on_ring(event, seen, need, &view, Some(ProcessId(2)));
+        assert!(r.start_broadcast.is_none());
+        // p2 receives p1's ring copy: new → delivers, forwards to p0.
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
+            o1.actions[1].clone()
+        else {
+            panic!()
+        };
+        let r2 = p2.on_ring(event, seen, need, &view, Some(ProcessId(0)));
+        assert_eq!(deliver_count(&r2.actions), 1);
+        // p0 gets it back: S={1,2}≠V, p0 ∉ S → ignore (no broadcast).
+        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
+            r2.actions[1].clone()
+        else {
+            panic!()
+        };
+        let r3 = p0.on_ring(event, seen, need, &view, Some(ProcessId(1)));
+        assert!(r3.start_broadcast.is_none());
+        assert!(p2.seen(&ev(0)));
+    }
+
+    #[test]
+    fn sync_handshake_ships_missing_events() {
+        let mut ahead = GaplessState::new(ProcessId(0), 100, true);
+        let view = pids(&[0, 1]);
+        for seq in 0..5 {
+            let _ = ahead.on_local_ingest(ev(seq), &view, None);
+        }
+        let mut behind = GaplessState::new(ProcessId(1), 100, true);
+        let _ = behind.on_local_ingest(ev(0), &view, None);
+
+        // New successor appears → ahead asks for watermarks.
+        let req = ahead.on_successor_change(Some(ProcessId(1)));
+        assert!(matches!(
+            req,
+            Some(Action::Send { to: ProcessId(1), msg: ProcMsg::SyncRequest { .. } })
+        ));
+        // behind replies with watermarks.
+        let Action::Send { msg: ProcMsg::SyncReply { watermarks, .. }, .. } =
+            behind.on_sync_request(ProcessId(0))
+        else {
+            panic!()
+        };
+        assert_eq!(watermarks, vec![(SensorId(7), 0)]);
+        // ahead ships the diff.
+        let Some(Action::Send { msg: ProcMsg::SyncEvents { events }, .. }) =
+            ahead.on_sync_reply(ProcessId(1), &watermarks)
+        else {
+            panic!("expected sync events")
+        };
+        assert_eq!(events.len(), 4);
+        // behind ingests and delivers each new event.
+        let delivered = behind.on_sync_events(events);
+        assert_eq!(delivered.len(), 4);
+        assert_eq!(behind.watermark(SensorId(7)), Some(4));
+    }
+
+    #[test]
+    fn successor_change_dedup_and_anti_entropy_toggle() {
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        assert!(g.on_successor_change(Some(ProcessId(1))).is_some());
+        assert!(g.on_successor_change(Some(ProcessId(1))).is_none(), "same successor");
+        assert!(g.on_successor_change(None).is_none());
+        assert!(g.on_successor_change(Some(ProcessId(1))).is_some(), "re-sync after churn");
+
+        let mut off = GaplessState::new(ProcessId(0), 100, false);
+        assert!(off.on_successor_change(Some(ProcessId(1))).is_none(), "ablation: no sync");
+    }
+
+    #[test]
+    fn sync_reply_with_nothing_missing_sends_nothing() {
+        let g = GaplessState::new(ProcessId(0), 100, true);
+        assert!(g.on_sync_reply(ProcessId(1), &[]).is_none());
+    }
+
+    #[test]
+    fn broadcast_copy_dedups() {
+        let mut g = GaplessState::new(ProcessId(0), 100, true);
+        assert!(g.on_broadcast_copy(ev(0)).is_some());
+        assert!(g.on_broadcast_copy(ev(0)).is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Reliable broadcast — the Gapless fallback (§4.1).
+//!
+//! When the ring detects that an event stalled before reaching every
+//! process, the detecting process floods it: send to every peer in the
+//! local view and retransmit until each acknowledges or leaves the
+//! view. Receivers that see the event for the first time re-broadcast
+//! once themselves (eager reliable broadcast in the crash-recovery
+//! model, after Boichat & Guerraoui), which tolerates the origin
+//! crashing mid-broadcast.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rivulet_types::{Event, EventId, ProcessId};
+
+use crate::messages::ProcMsg;
+
+use super::Action;
+
+/// One process's reliable-broadcast state.
+#[derive(Debug)]
+pub struct RbcastState {
+    me: ProcessId,
+    /// Broadcasts this process originated (or relayed) that still await
+    /// acknowledgements.
+    pending: HashMap<EventId, PendingBroadcast>,
+    /// Events this process has already relayed, to bound re-flooding.
+    relayed: BTreeSet<EventId>,
+}
+
+#[derive(Debug)]
+struct PendingBroadcast {
+    event: Event,
+    unacked: BTreeSet<ProcessId>,
+}
+
+impl RbcastState {
+    /// Creates broadcast state for process `me`.
+    #[must_use]
+    pub fn new(me: ProcessId) -> Self {
+        Self { me, pending: HashMap::new(), relayed: BTreeSet::new() }
+    }
+
+    /// Number of broadcasts still awaiting acknowledgements.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Initiates (or re-initiates) a broadcast of `event` to every peer
+    /// in `view` except `me`.
+    pub fn start(&mut self, event: Event, view: &[ProcessId]) -> Vec<Action> {
+        let peers: BTreeSet<ProcessId> =
+            view.iter().copied().filter(|p| *p != self.me).collect();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        self.relayed.insert(event.id);
+        let actions = peers
+            .iter()
+            .map(|p| Action::Send {
+                to: *p,
+                msg: ProcMsg::Broadcast { event: event.clone(), origin: self.me },
+            })
+            .collect();
+        self.pending.insert(event.id, PendingBroadcast { event, unacked: peers });
+        actions
+    }
+
+    /// A broadcast copy arrived. Returns the ack to the origin plus —
+    /// if `was_new` and not already relayed — a relay flood of our own,
+    /// making delivery survive origin crashes.
+    pub fn on_broadcast(
+        &mut self,
+        event: &Event,
+        origin: ProcessId,
+        was_new: bool,
+        view: &[ProcessId],
+    ) -> Vec<Action> {
+        let mut actions = vec![Action::Send {
+            to: origin,
+            msg: ProcMsg::BroadcastAck { id: event.id, from: self.me },
+        }];
+        if was_new && !self.relayed.contains(&event.id) {
+            actions.extend(self.start(event.clone(), view));
+        }
+        actions
+    }
+
+    /// A peer acknowledged one of our broadcasts.
+    pub fn on_ack(&mut self, id: EventId, from: ProcessId) {
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.unacked.remove(&from);
+            if p.unacked.is_empty() {
+                self.pending.remove(&id);
+            }
+        }
+    }
+
+    /// Periodic retransmission tick: re-send pending broadcasts to
+    /// still-unacked peers that remain in the view; peers that left the
+    /// view are written off (they will recover via anti-entropy).
+    pub fn on_tick(&mut self, view: &[ProcessId]) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.pending.retain(|_, p| {
+            p.unacked.retain(|peer| view.contains(peer));
+            if p.unacked.is_empty() {
+                return false;
+            }
+            for peer in &p.unacked {
+                actions.push(Action::Send {
+                    to: *peer,
+                    msg: ProcMsg::Broadcast { event: p.event.clone(), origin: self.me },
+                });
+            }
+            true
+        });
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::{EventKind, SensorId, Time};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(
+            EventId::new(SensorId(1), seq),
+            EventKind::DoorOpen,
+            Time::from_millis(seq),
+        )
+    }
+
+    fn pids(ids: &[u32]) -> Vec<ProcessId> {
+        ids.iter().map(|i| ProcessId(*i)).collect()
+    }
+
+    fn send_targets(actions: &[Action]) -> Vec<ProcessId> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: ProcMsg::Broadcast { .. } } => Some(*to),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_floods_view_except_self() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let actions = b.start(ev(0), &pids(&[0, 1, 2]));
+        assert_eq!(send_targets(&actions), pids(&[1, 2]));
+        assert_eq!(b.pending_count(), 1);
+    }
+
+    #[test]
+    fn acks_retire_pending() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let _ = b.start(ev(0), &pids(&[0, 1, 2]));
+        b.on_ack(ev(0).id, ProcessId(1));
+        assert_eq!(b.pending_count(), 1);
+        b.on_ack(ev(0).id, ProcessId(2));
+        assert_eq!(b.pending_count(), 0);
+        // Late/duplicate acks are harmless.
+        b.on_ack(ev(0).id, ProcessId(2));
+    }
+
+    #[test]
+    fn tick_retransmits_only_unacked_live_peers() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let _ = b.start(ev(0), &pids(&[0, 1, 2, 3]));
+        b.on_ack(ev(0).id, ProcessId(1));
+        // p3 left the view: written off.
+        let actions = b.on_tick(&pids(&[0, 1, 2]));
+        assert_eq!(send_targets(&actions), pids(&[2]));
+        // Everyone relevant acked or gone → pending clears.
+        b.on_ack(ev(0).id, ProcessId(2));
+        assert_eq!(b.pending_count(), 0);
+        assert!(b.on_tick(&pids(&[0, 1, 2])).is_empty());
+    }
+
+    #[test]
+    fn all_peers_departed_clears_pending() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let _ = b.start(ev(0), &pids(&[0, 1]));
+        let actions = b.on_tick(&pids(&[0]));
+        assert!(actions.is_empty());
+        assert_eq!(b.pending_count(), 0);
+    }
+
+    #[test]
+    fn receiver_acks_and_relays_new_events_once() {
+        let mut b = RbcastState::new(ProcessId(1));
+        let view = pids(&[0, 1, 2]);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view);
+        // First action: ack to origin.
+        assert!(matches!(
+            actions[0],
+            Action::Send { to: ProcessId(0), msg: ProcMsg::BroadcastAck { .. } }
+        ));
+        // Relay flood to peers.
+        assert_eq!(send_targets(&actions), pids(&[0, 2]));
+        // Second receipt: ack only, no re-relay.
+        let again = b.on_broadcast(&ev(0), ProcessId(2), false, &view);
+        assert_eq!(again.len(), 1);
+        assert!(matches!(
+            again[0],
+            Action::Send { to: ProcessId(2), msg: ProcMsg::BroadcastAck { .. } }
+        ));
+    }
+
+    #[test]
+    fn known_event_not_relayed() {
+        let mut b = RbcastState::new(ProcessId(1));
+        let view = pids(&[0, 1, 2]);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), false, &view);
+        assert_eq!(actions.len(), 1, "ack only for already-known events");
+    }
+
+    #[test]
+    fn singleton_start_is_noop() {
+        let mut b = RbcastState::new(ProcessId(0));
+        assert!(b.start(ev(0), &pids(&[0])).is_empty());
+        assert_eq!(b.pending_count(), 0);
+    }
+}

@@ -1,0 +1,532 @@
+//! Deployment: wiring a home out of hosts, devices, and apps.
+//!
+//! [`HomeBuilder`] assembles a deployment on either driver: it creates
+//! one [`crate::process::RivuletProcess`] actor per
+//! host, one device actor per sensor/actuator, and publishes the
+//! [`Directory`] — the static facts every process needs (peer actor
+//! ids, device reachability, poll latencies). Processes read the
+//! directory lazily at start-up, so construction order is free of
+//! circular dependencies.
+
+use std::sync::{Arc, OnceLock};
+
+use rivulet_devices::actuator::{ActuatorDevice, ActuatorProbe};
+use rivulet_devices::sensor::{
+    EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor,
+};
+use rivulet_devices::value::ValueModel;
+use rivulet_net::actor::{Actor, ActorId};
+use rivulet_net::link::ActorClass;
+use rivulet_net::live::LiveNet;
+use rivulet_net::sim::SimNet;
+use rivulet_types::{ActuationState, ActuatorId, Duration, ProcessId, SensorId};
+
+use crate::app::AppSpec;
+use crate::config::RivuletConfig;
+use crate::probe::{AppProbe, ProbeRegistry};
+use crate::process::{ProcessSpec, RivuletProcess};
+
+/// One sensor's entry in the deployment directory.
+#[derive(Debug, Clone)]
+pub struct SensorEntry {
+    /// The sensor.
+    pub id: SensorId,
+    /// Its device actor.
+    pub actor: ActorId,
+    /// Processes whose hosts can talk to it directly (active sensor
+    /// nodes, §3.3), sorted by process id.
+    pub reachers: Vec<ProcessId>,
+    /// Nominal poll answer latency, for poll-based sensors.
+    pub poll_latency: Option<Duration>,
+}
+
+/// One actuator's entry in the deployment directory.
+#[derive(Debug, Clone)]
+pub struct ActuatorEntry {
+    /// The actuator.
+    pub id: ActuatorId,
+    /// Its device actor.
+    pub actor: ActorId,
+    /// Processes whose hosts can drive it (active actuator nodes).
+    pub reachers: Vec<ProcessId>,
+}
+
+/// The static deployment facts shared by every process.
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryData {
+    /// All processes, sorted by process id.
+    pub processes: Vec<(ProcessId, ActorId)>,
+    /// All sensors.
+    pub sensors: Vec<SensorEntry>,
+    /// All actuators.
+    pub actuators: Vec<ActuatorEntry>,
+}
+
+/// A write-once holder for [`DirectoryData`], shared between the
+/// deployment and every process factory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    data: OnceLock<DirectoryData>,
+}
+
+impl Directory {
+    /// Creates an unfilled directory.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publishes the directory data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn set(&self, data: DirectoryData) {
+        self.data.set(data).expect("directory published twice");
+    }
+
+    /// The published data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory has not been published yet; processes
+    /// use [`Directory::try_get`] to wait politely.
+    #[must_use]
+    pub fn get(&self) -> &DirectoryData {
+        self.data.get().expect("directory not published")
+    }
+
+    /// The published data, or `None` before publication.
+    #[must_use]
+    pub fn try_get(&self) -> Option<&DirectoryData> {
+        self.data.get()
+    }
+}
+
+/// Abstraction over the two drivers, so one deployment path serves
+/// both.
+pub trait Driver {
+    /// Registers an actor (see the drivers' `add_actor`).
+    fn add_boxed_actor(
+        &mut self,
+        name: &str,
+        class: ActorClass,
+        factory: Box<dyn FnMut() -> Box<dyn Actor> + Send>,
+    ) -> ActorId;
+}
+
+impl Driver for SimNet {
+    fn add_boxed_actor(
+        &mut self,
+        name: &str,
+        class: ActorClass,
+        mut factory: Box<dyn FnMut() -> Box<dyn Actor> + Send>,
+    ) -> ActorId {
+        self.add_actor(name, class, move || factory())
+    }
+}
+
+impl Driver for LiveNet {
+    fn add_boxed_actor(
+        &mut self,
+        name: &str,
+        class: ActorClass,
+        mut factory: Box<dyn FnMut() -> Box<dyn Actor> + Send>,
+    ) -> ActorId {
+        self.add_actor(name, class, move || factory())
+    }
+}
+
+enum SensorDecl {
+    Push {
+        name: String,
+        payload: PayloadSpec,
+        schedule: EmissionSchedule,
+        reachers: Vec<ProcessId>,
+        probe: Arc<EmissionProbe>,
+    },
+    Poll {
+        name: String,
+        value: ValueModel,
+        poll_latency: Duration,
+        reachers: Vec<ProcessId>,
+        probe: Arc<PollProbe>,
+    },
+}
+
+struct ActuatorDecl {
+    name: String,
+    initial: ActuationState,
+    reachers: Vec<ProcessId>,
+    probe: Arc<ActuatorProbe>,
+}
+
+/// Handles to a deployed home.
+#[derive(Debug, Clone)]
+pub struct Home {
+    /// Processes and their actors, sorted by process id.
+    pub processes: Vec<(ProcessId, ActorId)>,
+    /// Sensors and their device actors.
+    pub sensors: Vec<(SensorId, ActorId)>,
+    /// Actuators and their device actors.
+    pub actuators: Vec<(ActuatorId, ActorId)>,
+    /// The published directory.
+    pub directory: Arc<Directory>,
+}
+
+impl Home {
+    /// The actor hosting `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unknown.
+    #[must_use]
+    pub fn actor_of(&self, pid: ProcessId) -> ActorId {
+        self.processes
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, a)| *a)
+            .expect("unknown process")
+    }
+
+    /// The device actor of `sensor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is unknown.
+    #[must_use]
+    pub fn sensor_actor(&self, sensor: SensorId) -> ActorId {
+        self.sensors
+            .iter()
+            .find(|(s, _)| *s == sensor)
+            .map(|(_, a)| *a)
+            .expect("unknown sensor")
+    }
+
+    /// The device actor of `actuator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actuator` is unknown.
+    #[must_use]
+    pub fn actuator_actor(&self, actuator: ActuatorId) -> ActorId {
+        self.actuators
+            .iter()
+            .find(|(s, _)| *s == actuator)
+            .map(|(_, a)| *a)
+            .expect("unknown actuator")
+    }
+}
+
+/// Fluent builder assembling a home deployment on a driver.
+pub struct HomeBuilder<'a, D: Driver> {
+    driver: &'a mut D,
+    config: RivuletConfig,
+    hosts: Vec<String>,
+    sensors: Vec<SensorDecl>,
+    actuators: Vec<ActuatorDecl>,
+    apps: Vec<(Arc<AppSpec>, Arc<AppProbe>)>,
+    probes: Arc<ProbeRegistry>,
+}
+
+impl<D: Driver> std::fmt::Debug for HomeBuilder<'_, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HomeBuilder")
+            .field("hosts", &self.hosts.len())
+            .field("sensors", &self.sensors.len())
+            .field("actuators", &self.actuators.len())
+            .field("apps", &self.apps.len())
+            .finish()
+    }
+}
+
+impl<'a, D: Driver> HomeBuilder<'a, D> {
+    /// Starts a deployment on `driver` with the default configuration.
+    pub fn new(driver: &'a mut D) -> Self {
+        Self {
+            driver,
+            config: RivuletConfig::default(),
+            hosts: Vec::new(),
+            sensors: Vec::new(),
+            actuators: Vec::new(),
+            apps: Vec::new(),
+            probes: ProbeRegistry::new(),
+        }
+    }
+
+    /// Replaces the platform configuration used by every process.
+    #[must_use]
+    pub fn with_config(mut self, config: RivuletConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Declares a host (TV, fridge, hub, …); returns its process id.
+    /// Process ids are assigned in declaration order, which also fixes
+    /// ring order and placement tie-breaking.
+    pub fn add_host(&mut self, name: impl Into<String>) -> ProcessId {
+        let pid = ProcessId(self.hosts.len() as u32);
+        self.hosts.push(name.into());
+        pid
+    }
+
+    /// Declares a push-based sensor reachable by `reachers`; returns
+    /// its sensor id and emission probe.
+    pub fn add_push_sensor(
+        &mut self,
+        name: impl Into<String>,
+        payload: PayloadSpec,
+        schedule: EmissionSchedule,
+        reachers: &[ProcessId],
+    ) -> (SensorId, Arc<EmissionProbe>) {
+        let id = SensorId(self.sensors.len() as u32);
+        let probe = EmissionProbe::new();
+        let mut sorted = reachers.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.sensors.push(SensorDecl::Push {
+            name: name.into(),
+            payload,
+            schedule,
+            reachers: sorted,
+            probe: Arc::clone(&probe),
+        });
+        (id, probe)
+    }
+
+    /// Declares a poll-based sensor; returns its sensor id and poll
+    /// probe.
+    pub fn add_poll_sensor(
+        &mut self,
+        name: impl Into<String>,
+        value: ValueModel,
+        poll_latency: Duration,
+        reachers: &[ProcessId],
+    ) -> (SensorId, Arc<PollProbe>) {
+        let id = SensorId(self.sensors.len() as u32);
+        let probe = PollProbe::new();
+        let mut sorted = reachers.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.sensors.push(SensorDecl::Poll {
+            name: name.into(),
+            value,
+            poll_latency,
+            reachers: sorted,
+            probe: Arc::clone(&probe),
+        });
+        (id, probe)
+    }
+
+    /// Declares an actuator; returns its actuator id and probe.
+    pub fn add_actuator(
+        &mut self,
+        name: impl Into<String>,
+        initial: ActuationState,
+        reachers: &[ProcessId],
+    ) -> (ActuatorId, Arc<ActuatorProbe>) {
+        let id = ActuatorId(self.actuators.len() as u32);
+        let probe = ActuatorProbe::new(initial);
+        let mut sorted = reachers.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.actuators.push(ActuatorDecl {
+            name: name.into(),
+            initial,
+            reachers: sorted,
+            probe: Arc::clone(&probe),
+        });
+        (id, probe)
+    }
+
+    /// Deploys an application home-wide; returns its probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app graph is invalid.
+    pub fn add_app(&mut self, app: AppSpec) -> Arc<AppProbe> {
+        app.validate().expect("invalid app graph");
+        let probe = self.probes.probe(app.id);
+        self.apps.push((Arc::new(app), Arc::clone(&probe)));
+        probe
+    }
+
+    /// Creates all actors and publishes the directory.
+    #[must_use]
+    pub fn build(self) -> Home {
+        let directory = Directory::new();
+
+        // Processes first (they defer directory reads to start-up).
+        let mut processes = Vec::new();
+        for (i, name) in self.hosts.iter().enumerate() {
+            let pid = ProcessId(i as u32);
+            let spec = ProcessSpec {
+                pid,
+                config: self.config.clone(),
+                apps: self.apps.clone(),
+                directory: Arc::clone(&directory),
+            };
+            let actor = self.driver.add_boxed_actor(
+                name,
+                ActorClass::Process,
+                Box::new(move || Box::new(RivuletProcess::new(spec.clone()))),
+            );
+            processes.push((pid, actor));
+        }
+
+        // Devices next: they multicast to the (now known) process
+        // actors.
+        let actor_of = |pid: ProcessId| {
+            processes
+                .iter()
+                .find(|(p, _)| *p == pid)
+                .map(|(_, a)| *a)
+                .expect("reacher declared before build")
+        };
+        let mut sensor_entries = Vec::new();
+        let mut sensor_actors = Vec::new();
+        for (i, decl) in self.sensors.into_iter().enumerate() {
+            let id = SensorId(i as u32);
+            match decl {
+                SensorDecl::Push { name, payload, schedule, reachers, probe } => {
+                    let targets: Vec<ActorId> =
+                        reachers.iter().map(|p| actor_of(*p)).collect();
+                    let actor = self.driver.add_boxed_actor(
+                        &name,
+                        ActorClass::Device,
+                        Box::new(move || {
+                            // A recovered sensor resumes numbering
+                            // after everything it already emitted.
+                            let start_seq = probe.emitted();
+                            Box::new(
+                                PushSensor::new(
+                                    id,
+                                    payload.clone(),
+                                    schedule.clone(),
+                                    targets.clone(),
+                                    Arc::clone(&probe),
+                                )
+                                .with_start_seq(start_seq),
+                            )
+                        }),
+                    );
+                    sensor_entries.push(SensorEntry {
+                        id,
+                        actor,
+                        reachers,
+                        poll_latency: None,
+                    });
+                    sensor_actors.push((id, actor));
+                }
+                SensorDecl::Poll { name, value, poll_latency, reachers, probe } => {
+                    let actor = self.driver.add_boxed_actor(
+                        &name,
+                        ActorClass::Device,
+                        Box::new(move || {
+                            let start_seq = probe.answered();
+                            Box::new(
+                                PollSensor::new(
+                                    id,
+                                    value.clone(),
+                                    poll_latency,
+                                    Arc::clone(&probe),
+                                )
+                                .with_start_seq(start_seq),
+                            )
+                        }),
+                    );
+                    sensor_entries.push(SensorEntry {
+                        id,
+                        actor,
+                        reachers,
+                        poll_latency: Some(poll_latency),
+                    });
+                    sensor_actors.push((id, actor));
+                }
+            }
+        }
+
+        let mut actuator_entries = Vec::new();
+        let mut actuator_actors = Vec::new();
+        for (i, decl) in self.actuators.into_iter().enumerate() {
+            let id = ActuatorId(i as u32);
+            let ActuatorDecl { name, initial, reachers, probe } = decl;
+            let actor = self.driver.add_boxed_actor(
+                &name,
+                ActorClass::Device,
+                Box::new(move || {
+                    Box::new(ActuatorDevice::new(id, initial, Arc::clone(&probe)))
+                }),
+            );
+            actuator_entries.push(ActuatorEntry { id, actor, reachers });
+            actuator_actors.push((id, actor));
+        }
+
+        directory.set(DirectoryData {
+            processes: processes.clone(),
+            sensors: sensor_entries,
+            actuators: actuator_entries,
+        });
+
+        Home {
+            processes,
+            sensors: sensor_actors,
+            actuators: actuator_actors,
+            directory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_net::sim::SimConfig;
+
+    #[test]
+    fn directory_is_write_once() {
+        let dir = Directory::new();
+        assert!(dir.try_get().is_none());
+        dir.set(DirectoryData::default());
+        assert!(dir.try_get().is_some());
+        assert_eq!(dir.get().processes.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "directory published twice")]
+    fn directory_double_set_panics() {
+        let dir = Directory::new();
+        dir.set(DirectoryData::default());
+        dir.set(DirectoryData::default());
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids_and_publishes() {
+        let mut net = SimNet::new(SimConfig::with_seed(1));
+        let mut b = HomeBuilder::new(&mut net);
+        let hub = b.add_host("hub");
+        let tv = b.add_host("tv");
+        assert_eq!(hub, ProcessId(0));
+        assert_eq!(tv, ProcessId(1));
+        let (door, _) = b.add_push_sensor(
+            "door",
+            PayloadSpec::KindOnly(rivulet_types::EventKind::DoorOpen),
+            EmissionSchedule::Periodic(Duration::from_secs(1)),
+            &[tv, tv, hub], // duplicates tolerated
+        );
+        assert_eq!(door, SensorId(0));
+        let (light, _) = b.add_actuator(
+            "light",
+            ActuationState::Switch(false),
+            &[hub],
+        );
+        assert_eq!(light, ActuatorId(0));
+        let home = b.build();
+        assert_eq!(home.processes.len(), 2);
+        let data = home.directory.get();
+        assert_eq!(data.sensors[0].reachers, vec![hub, tv], "sorted, deduped");
+        assert_eq!(data.actuators[0].reachers, vec![hub]);
+        assert_eq!(home.actor_of(hub), home.processes[0].1);
+        assert_eq!(home.sensor_actor(door), home.sensors[0].1);
+        assert_eq!(home.actuator_actor(light), home.actuators[0].1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic placement of logic nodes (§7).
+//!
+//! "The current implementation uses a simple deterministic function to
+//! order and select processes for deploying active logic nodes which
+//! seeks to deploy a logic node on a process that has the largest
+//! number of active sensors and actuators required by the logic node;
+//! this allows Rivulet to minimize delay incurred during event
+//! delivery."
+//!
+//! Every process computes the same chain from static deployment
+//! information, so no agreement protocol is needed.
+
+use rivulet_types::{ActuatorId, ProcessId, SensorId};
+
+/// Static reachability of one process: which devices its host hardware
+/// can talk to directly (creating *active* sensor/actuator nodes there,
+/// §3.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reachability {
+    /// The process.
+    pub process: ProcessId,
+    /// Sensors the process can hear.
+    pub sensors: Vec<SensorId>,
+    /// Actuators the process can drive.
+    pub actuators: Vec<ActuatorId>,
+}
+
+impl Reachability {
+    /// Creates a reachability record.
+    #[must_use]
+    pub fn new(process: ProcessId, sensors: Vec<SensorId>, actuators: Vec<ActuatorId>) -> Self {
+        Self { process, sensors, actuators }
+    }
+
+    /// How many of the app's required devices this process reaches.
+    fn score(&self, req_sensors: &[SensorId], req_actuators: &[ActuatorId]) -> usize {
+        let s = self.sensors.iter().filter(|s| req_sensors.contains(s)).count();
+        let a = self.actuators.iter().filter(|a| req_actuators.contains(a)).count();
+        s + a
+    }
+}
+
+/// Computes an app's placement chain: processes sorted by descending
+/// count of the app's sensors/actuators they reach directly, ties
+/// broken by ascending process id. Position 0 is the preferred host of
+/// the active logic node.
+#[must_use]
+pub fn chain_for(
+    processes: &[Reachability],
+    req_sensors: &[SensorId],
+    req_actuators: &[ActuatorId],
+) -> Vec<ProcessId> {
+    let mut scored: Vec<(usize, ProcessId)> = processes
+        .iter()
+        .map(|r| (r.score(req_sensors, req_actuators), r.process))
+        .collect();
+    scored.sort_unstable_by(|(sa, pa), (sb, pb)| sb.cmp(sa).then(pa.cmp(pb)));
+    scored.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reach(p: u32, sensors: &[u32], actuators: &[u32]) -> Reachability {
+        Reachability::new(
+            ProcessId(p),
+            sensors.iter().map(|s| SensorId(*s)).collect(),
+            actuators.iter().map(|a| ActuatorId(*a)).collect(),
+        )
+    }
+
+    #[test]
+    fn fig2_scenario_prefers_the_hub() {
+        // Fig. 2: door sensor reachable from TV(1) and fridge(2), light
+        // actuator from hub(0) only. Scores: hub 1, TV 1, fridge 1 →
+        // tie broken by pid: hub first, so TL₁ is active at the hub as
+        // in the paper's walkthrough.
+        let procs = vec![
+            reach(0, &[], &[1]),
+            reach(1, &[1], &[]),
+            reach(2, &[1], &[]),
+        ];
+        let chain = chain_for(&procs, &[SensorId(1)], &[ActuatorId(1)]);
+        assert_eq!(chain, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn highest_score_wins() {
+        let procs = vec![
+            reach(0, &[1], &[]),
+            reach(1, &[1, 2], &[1]),
+            reach(2, &[2], &[]),
+        ];
+        let chain = chain_for(&procs, &[SensorId(1), SensorId(2)], &[ActuatorId(1)]);
+        assert_eq!(chain[0], ProcessId(1), "reaches 3 of 3 devices");
+    }
+
+    #[test]
+    fn irrelevant_devices_do_not_score() {
+        let procs = vec![
+            reach(0, &[9, 8, 7], &[9]), // reaches many, none required
+            reach(1, &[1], &[]),
+        ];
+        let chain = chain_for(&procs, &[SensorId(1)], &[]);
+        assert_eq!(chain[0], ProcessId(1));
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let a = vec![reach(0, &[1], &[]), reach(1, &[], &[]), reach(2, &[1], &[])];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(
+            chain_for(&a, &[SensorId(1)], &[]),
+            chain_for(&b, &[SensorId(1)], &[])
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(chain_for(&[], &[SensorId(1)], &[]).is_empty());
+        let procs = vec![reach(0, &[], &[])];
+        assert_eq!(chain_for(&procs, &[], &[]), vec![ProcessId(0)]);
+    }
+}

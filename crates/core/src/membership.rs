@@ -1,0 +1,212 @@
+//! Keep-alive membership and local views.
+//!
+//! Rivulet "must work with any number of processes, including home
+//! environments with only one or two processes", so it cannot use
+//! majority-based agreed views; each process maintains a **local view**
+//! from keep-alive silence, and views at different processes may
+//! disagree (§4.1). A process never suspects itself.
+
+use std::collections::BTreeMap;
+
+use rivulet_types::{Duration, ProcessId, Time};
+
+/// One process's failure detector and local view.
+#[derive(Debug)]
+pub struct Membership {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    last_heard: BTreeMap<ProcessId, Time>,
+    failure_timeout: Duration,
+}
+
+impl Membership {
+    /// Creates the membership state of process `me` among `peers`
+    /// (which may or may not include `me`; it is tracked implicitly)
+    /// at time `now`. Until first contact, peers are optimistically
+    /// assumed alive as of `now` — a freshly (re)started process must
+    /// not instantly suspect the whole home and wrongly promote itself
+    /// before its first keep-alive exchange completes.
+    #[must_use]
+    pub fn new(
+        me: ProcessId,
+        peers: &[ProcessId],
+        failure_timeout: Duration,
+        now: Time,
+    ) -> Self {
+        let mut all: Vec<ProcessId> = peers.iter().copied().filter(|p| *p != me).collect();
+        all.sort_unstable();
+        all.dedup();
+        let last_heard = all.iter().map(|p| (*p, now)).collect();
+        Self { me, peers: all, last_heard, failure_timeout }
+    }
+
+    /// This process's identity.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// All known peers (excluding `me`), sorted.
+    #[must_use]
+    pub fn peers(&self) -> &[ProcessId] {
+        &self.peers
+    }
+
+    /// Records a sign of life from `from` at `now` (keep-alive or any
+    /// protocol message — all traffic proves liveness).
+    pub fn heard_from(&mut self, from: ProcessId, now: Time) {
+        if from == self.me {
+            return;
+        }
+        if let Some(t) = self.last_heard.get_mut(&from) {
+            if now > *t {
+                *t = now;
+            }
+        }
+    }
+
+    /// Whether `p` is currently believed alive. `me` is always alive
+    /// ("a process never suspects itself", §4.1). A peer is suspected
+    /// once `failure_timeout` has elapsed since it was last heard.
+    #[must_use]
+    pub fn is_alive(&self, p: ProcessId, now: Time) -> bool {
+        if p == self.me {
+            return true;
+        }
+        match self.last_heard.get(&p) {
+            None => false,
+            Some(last) => now.duration_since(*last) < self.failure_timeout,
+        }
+    }
+
+    /// The local view `vᵢ` at `now`: all live processes including
+    /// `me`, sorted by process id.
+    #[must_use]
+    pub fn view(&self, now: Time) -> Vec<ProcessId> {
+        let mut view: Vec<ProcessId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| self.is_alive(*p, now))
+            .collect();
+        view.push(self.me);
+        view.sort_unstable();
+        view
+    }
+
+    /// The ring successor of `me` in the current view: the next process
+    /// id cyclically. Returns `None` when `me` is alone.
+    #[must_use]
+    pub fn ring_successor(&self, now: Time) -> Option<ProcessId> {
+        let view = self.view(now);
+        if view.len() <= 1 {
+            return None;
+        }
+        let idx = view.iter().position(|p| *p == self.me).expect("me in view");
+        Some(view[(idx + 1) % view.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[u32]) -> Vec<ProcessId> {
+        ids.iter().map(|i| ProcessId(*i)).collect()
+    }
+
+    fn m3() -> Membership {
+        Membership::new(
+            ProcessId(1),
+            &pids(&[0, 1, 2]),
+            Duration::from_secs(2),
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn fresh_membership_trusts_everyone_briefly() {
+        let m = m3();
+        assert_eq!(m.view(Time::from_millis(100)), pids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn silence_causes_suspicion_and_contact_restores() {
+        let mut m = m3();
+        let late = Time::from_secs(5);
+        assert_eq!(m.view(late), pids(&[1]), "everyone silent too long");
+        m.heard_from(ProcessId(0), Time::from_secs(4));
+        assert_eq!(m.view(late), pids(&[0, 1]));
+        assert!(!m.is_alive(ProcessId(2), late));
+        m.heard_from(ProcessId(2), late);
+        assert!(m.is_alive(ProcessId(2), late));
+    }
+
+    #[test]
+    fn never_suspects_self_and_ignores_unknown() {
+        let mut m = m3();
+        let t = Time::from_secs(100);
+        assert!(m.is_alive(ProcessId(1), t));
+        assert!(!m.is_alive(ProcessId(42), t), "unknown processes are not alive");
+        m.heard_from(ProcessId(42), t); // unknown: ignored
+        assert!(!m.is_alive(ProcessId(42), t));
+        m.heard_from(ProcessId(1), t); // self: ignored
+        assert!(m.view(t).contains(&ProcessId(1)));
+    }
+
+    #[test]
+    fn stale_heard_from_does_not_rewind() {
+        let mut m = m3();
+        m.heard_from(ProcessId(0), Time::from_secs(10));
+        m.heard_from(ProcessId(0), Time::from_secs(3)); // reordered arrival
+        assert!(m.is_alive(ProcessId(0), Time::from_secs(11)));
+    }
+
+    #[test]
+    fn ring_successor_cycles_sorted_view() {
+        let mut m = m3();
+        let t = Time::from_secs(1);
+        // Full view {0,1,2}: successor of 1 is 2.
+        assert_eq!(m.ring_successor(t), Some(ProcessId(2)));
+        // Highest process wraps to lowest.
+        let m2 =
+            Membership::new(ProcessId(2), &pids(&[0, 1, 2]), Duration::from_secs(2), Time::ZERO);
+        assert_eq!(m2.ring_successor(t), Some(ProcessId(0)));
+        // After suspecting 2, successor of 1 wraps to 0.
+        let late = Time::from_secs(5);
+        m.heard_from(ProcessId(0), Time::from_secs(4));
+        assert_eq!(m.ring_successor(late), Some(ProcessId(0)));
+    }
+
+    #[test]
+    fn singleton_home_has_no_successor() {
+        let m = Membership::new(ProcessId(0), &[], Duration::from_secs(2), Time::ZERO);
+        assert_eq!(m.ring_successor(Time::ZERO), None);
+        assert_eq!(m.view(Time::from_secs(100)), pids(&[0]));
+    }
+
+    #[test]
+    fn late_construction_trusts_peers_from_now() {
+        // A process recovering at t=80 must not suspect everyone
+        // instantly (which would cause a spurious self-promotion).
+        let m = Membership::new(
+            ProcessId(2),
+            &pids(&[0, 1, 2]),
+            Duration::from_secs(2),
+            Time::from_secs(80),
+        );
+        assert_eq!(m.view(Time::from_secs(81)), pids(&[0, 1, 2]));
+        assert_eq!(m.view(Time::from_secs(83)), pids(&[2]), "then silence counts");
+    }
+
+    #[test]
+    fn duplicate_and_self_peers_deduplicated() {
+        let m = Membership::new(
+            ProcessId(1),
+            &pids(&[0, 0, 1, 2, 2]),
+            Duration::from_secs(2),
+            Time::ZERO,
+        );
+        assert_eq!(m.peers(), &pids(&[0, 2])[..]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Shared observation handles for experiments and tests.
+//!
+//! The paper's evaluation measures delivery percentage, delay, failover
+//! behaviour, and epoch misses *from the application's point of view*.
+//! [`AppProbe`] is the measurement tap: processes record every
+//! app-visible occurrence into it, and the harness reads it after (or
+//! during) a run. Probes are shared `Arc`s so they survive process
+//! crash–recovery cycles.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rivulet_types::{AppId, Command, Duration, EventId, ProcessId, Time};
+
+/// One event processed by an active logic node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// When the logic node processed the event.
+    pub at: Time,
+    /// The process hosting the active logic node.
+    pub by: ProcessId,
+    /// The event.
+    pub event: EventId,
+    /// When the sensor emitted it (delay = `at - emitted_at`, the
+    /// Fig. 4 metric).
+    pub emitted_at: Time,
+}
+
+impl DeliveryRecord {
+    /// Sensor-to-logic-node delay of this delivery.
+    #[must_use]
+    pub fn delay(&self) -> Duration {
+        self.at - self.emitted_at
+    }
+}
+
+/// Measurement tap for one application.
+#[derive(Debug, Default)]
+pub struct AppProbe {
+    deliveries: Mutex<Vec<DeliveryRecord>>,
+    commands: Mutex<Vec<(Time, Command)>>,
+    alerts: Mutex<Vec<(Time, ProcessId, String)>>,
+    transitions: Mutex<Vec<(Time, ProcessId, bool)>>,
+    epoch_misses: AtomicU64,
+    stale_drops: AtomicU64,
+}
+
+impl AppProbe {
+    /// Creates an empty probe.
+    #[must_use]
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::default())
+    }
+
+    /// Records an event processed by an active logic node.
+    pub fn record_delivery(&self, record: DeliveryRecord) {
+        self.deliveries.lock().expect("probe lock").push(record);
+    }
+
+    /// Records a command issued by the app.
+    pub fn record_command(&self, at: Time, command: Command) {
+        self.commands.lock().expect("probe lock").push((at, command));
+    }
+
+    /// Records a user alert raised by the app.
+    pub fn record_alert(&self, at: Time, by: ProcessId, message: String) {
+        self.alerts.lock().expect("probe lock").push((at, by, message));
+    }
+
+    /// Records a promotion (`active = true`) or demotion of the logic
+    /// node at `process`.
+    pub fn record_transition(&self, at: Time, process: ProcessId, active: bool) {
+        self.transitions.lock().expect("probe lock").push((at, process, active));
+    }
+
+    /// Records a missed polling epoch (§4.1's exception).
+    pub fn record_epoch_miss(&self) {
+        self.epoch_misses.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records events rejected by a staleness bound (§6).
+    pub fn record_stale_drops(&self, n: u64) {
+        self.stale_drops.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// All deliveries in recording order (may contain duplicates when
+    /// several processes were simultaneously active during partitions,
+    /// or after a failover replay).
+    #[must_use]
+    pub fn deliveries(&self) -> Vec<DeliveryRecord> {
+        self.deliveries.lock().expect("probe lock").clone()
+    }
+
+    /// Count of *distinct* events processed — the Fig. 6 "% events
+    /// delivered" numerator.
+    #[must_use]
+    pub fn unique_delivered(&self) -> usize {
+        let deliveries = self.deliveries.lock().expect("probe lock");
+        let set: BTreeSet<EventId> = deliveries.iter().map(|d| d.event).collect();
+        set.len()
+    }
+
+    /// Delays of all deliveries (Fig. 4 metric).
+    #[must_use]
+    pub fn delays(&self) -> Vec<Duration> {
+        self.deliveries.lock().expect("probe lock").iter().map(DeliveryRecord::delay).collect()
+    }
+
+    /// Mean delay, if any deliveries occurred.
+    #[must_use]
+    pub fn mean_delay(&self) -> Option<Duration> {
+        let delays = self.delays();
+        if delays.is_empty() {
+            return None;
+        }
+        let total: u64 = delays.iter().map(|d| d.as_micros()).sum();
+        Some(Duration::from_micros(total / delays.len() as u64))
+    }
+
+    /// Commands issued.
+    #[must_use]
+    pub fn commands(&self) -> Vec<(Time, Command)> {
+        self.commands.lock().expect("probe lock").clone()
+    }
+
+    /// Alerts raised.
+    #[must_use]
+    pub fn alerts(&self) -> Vec<(Time, ProcessId, String)> {
+        self.alerts.lock().expect("probe lock").clone()
+    }
+
+    /// Promotion/demotion history.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<(Time, ProcessId, bool)> {
+        self.transitions.lock().expect("probe lock").clone()
+    }
+
+    /// Missed polling epochs.
+    #[must_use]
+    pub fn epoch_misses(&self) -> u64 {
+        self.epoch_misses.load(Ordering::SeqCst)
+    }
+
+    /// Events rejected by staleness bounds.
+    #[must_use]
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops.load(Ordering::SeqCst)
+    }
+}
+
+/// Registry mapping apps to their probes, shared between deployment
+/// and harness.
+#[derive(Debug, Default)]
+pub struct ProbeRegistry {
+    probes: Mutex<Vec<(AppId, std::sync::Arc<AppProbe>)>>,
+}
+
+impl ProbeRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::default())
+    }
+
+    /// Returns the probe for `app`, creating it on first use.
+    #[must_use]
+    pub fn probe(&self, app: AppId) -> std::sync::Arc<AppProbe> {
+        let mut probes = self.probes.lock().expect("registry lock");
+        if let Some((_, p)) = probes.iter().find(|(a, _)| *a == app) {
+            return std::sync::Arc::clone(p);
+        }
+        let p = AppProbe::new();
+        probes.push((app, std::sync::Arc::clone(&p)));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::SensorId;
+
+    fn record(seq: u64, at_ms: u64, emitted_ms: u64) -> DeliveryRecord {
+        DeliveryRecord {
+            at: Time::from_millis(at_ms),
+            by: ProcessId(0),
+            event: EventId::new(SensorId(1), seq),
+            emitted_at: Time::from_millis(emitted_ms),
+        }
+    }
+
+    #[test]
+    fn delivery_bookkeeping_and_dedup() {
+        let probe = AppProbe::new();
+        probe.record_delivery(record(0, 10, 5));
+        probe.record_delivery(record(1, 20, 12));
+        probe.record_delivery(record(1, 22, 12)); // duplicate event
+        assert_eq!(probe.deliveries().len(), 3);
+        assert_eq!(probe.unique_delivered(), 2);
+        assert_eq!(
+            probe.delays(),
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(8),
+                Duration::from_millis(10)
+            ]
+        );
+        assert_eq!(probe.mean_delay(), Some(Duration::from_micros(7_666)));
+    }
+
+    #[test]
+    fn empty_probe_mean_delay_is_none() {
+        let probe = AppProbe::new();
+        assert_eq!(probe.mean_delay(), None);
+        assert_eq!(probe.unique_delivered(), 0);
+        assert_eq!(probe.epoch_misses(), 0);
+    }
+
+    #[test]
+    fn transitions_alerts_and_misses() {
+        let probe = AppProbe::new();
+        probe.record_transition(Time::from_secs(1), ProcessId(0), true);
+        probe.record_transition(Time::from_secs(24), ProcessId(0), false);
+        probe.record_transition(Time::from_secs(26), ProcessId(1), true);
+        probe.record_alert(Time::from_secs(2), ProcessId(0), "intrusion".into());
+        probe.record_epoch_miss();
+        probe.record_epoch_miss();
+        assert_eq!(probe.transitions().len(), 3);
+        assert_eq!(probe.alerts().len(), 1);
+        assert_eq!(probe.epoch_misses(), 2);
+    }
+
+    #[test]
+    fn registry_returns_same_probe_per_app() {
+        let reg = ProbeRegistry::new();
+        let a = reg.probe(AppId(1));
+        let b = reg.probe(AppId(1));
+        let c = reg.probe(AppId(2));
+        a.record_epoch_miss();
+        assert_eq!(b.epoch_misses(), 1, "same underlying probe");
+        assert_eq!(c.epoch_misses(), 0);
+    }
+}

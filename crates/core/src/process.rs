@@ -1,0 +1,1004 @@
+//! The Rivulet process: one runtime instance per host (§3.3).
+//!
+//! A [`RivuletProcess`] is an actor gluing every platform service
+//! together: adapters decode device frames, the membership service
+//! maintains the local view, the delivery service runs the Gap chain
+//! and Gapless ring (with reliable-broadcast fallback and anti-entropy),
+//! the polling coordinator schedules poll-based sensors, and the
+//! execution service elects active logic nodes and runs app runtimes.
+//!
+//! All state is volatile: a crash loses it, and a recovered process is
+//! rebuilt from its (re-invoked) factory, re-joining via keep-alives
+//! and receiving missed events through anti-entropy — the
+//! crash-recovery model of §3.1.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rivulet_devices::frame::RadioFrame;
+use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
+use rivulet_types::wire::Wire;
+use rivulet_types::{
+    Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time,
+};
+
+use crate::app::{AppRuntime, AppSpec, OpOutput, StreamKey};
+use crate::config::RivuletConfig;
+use crate::delivery::gap::{self, GapRole};
+use crate::delivery::gapless::GaplessState;
+use crate::delivery::polling::{PollState, PollStrategy};
+use crate::delivery::rbcast::RbcastState;
+use crate::delivery::{Action, Delivery};
+use crate::deploy::{Directory, DirectoryData};
+use crate::execution::{placement, ExecutionState, Transition};
+use crate::membership::Membership;
+use crate::messages::ProcMsg;
+use crate::probe::{AppProbe, DeliveryRecord};
+
+const TOKEN_INIT_RETRY: u64 = 0;
+const TOKEN_TICK: u64 = 1;
+const KIND_EPOCH: u64 = 2;
+const KIND_SLOT: u64 = 3;
+const KIND_REPOLL: u64 = 4;
+const KIND_WINDOW: u64 = 5;
+
+/// Processed events younger than this are retained so straggling
+/// duplicate copies still deduplicate against the store.
+const GC_STRAGGLER_HORIZON: Duration = Duration::from_secs(30);
+
+fn token(kind: u64, idx: u32) -> u64 {
+    (kind << 32) | u64::from(idx)
+}
+
+/// Static description used to construct a process actor (shared by the
+/// factory so crash–recovery rebuilds an identical fresh process).
+#[derive(Clone)]
+pub struct ProcessSpec {
+    /// The process identity.
+    pub pid: ProcessId,
+    /// Platform configuration.
+    pub config: RivuletConfig,
+    /// Applications deployed home-wide (every process knows all apps;
+    /// active/shadow roles are decided by the execution service).
+    pub apps: Vec<(Arc<AppSpec>, Arc<AppProbe>)>,
+    /// The shared deployment directory, filled before the drivers run.
+    pub directory: Arc<Directory>,
+}
+
+impl std::fmt::Debug for ProcessSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessSpec")
+            .field("pid", &self.pid)
+            .field("apps", &self.apps.len())
+            .finish_non_exhaustive()
+    }
+}
+
+struct SensorRt {
+    device: ActorId,
+    reachers: Vec<ProcessId>,
+    delivery: Delivery,
+    poll: Option<PollRt>,
+    subscribed_apps: Vec<usize>,
+}
+
+struct PollRt {
+    state: PollState,
+    participates: bool,
+}
+
+struct AppRt {
+    spec: Arc<AppSpec>,
+    probe: Arc<AppProbe>,
+    exec: ExecutionState,
+    runtime: Option<AppRuntime>,
+    /// Stale-drop count already copied into the probe.
+    stale_reported: u64,
+}
+
+struct Initialized {
+    membership: Membership,
+    gapless: GaplessState,
+    rbcast: RbcastState,
+    apps: Vec<AppRt>,
+    sensors: HashMap<SensorId, SensorRt>,
+    actuators: HashMap<rivulet_types::ActuatorId, (ActorId, Vec<ProcessId>)>,
+    peer_actors: BTreeMap<ProcessId, ActorId>,
+    /// Processed watermarks learned from peers' keep-alives, merged
+    /// with our own processing.
+    processed: HashMap<SensorId, u64>,
+    window_timers: Vec<(usize, OperatorId, StreamKey, Duration)>,
+    cmd_seq: HashMap<OperatorId, u64>,
+    last_successor: Option<ProcessId>,
+}
+
+/// The Rivulet process actor.
+pub struct RivuletProcess {
+    spec: ProcessSpec,
+    st: Option<Initialized>,
+}
+
+impl std::fmt::Debug for RivuletProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RivuletProcess")
+            .field("pid", &self.spec.pid)
+            .field("initialized", &self.st.is_some())
+            .finish()
+    }
+}
+
+impl RivuletProcess {
+    /// Creates an uninitialized process; full initialization happens on
+    /// [`ActorEvent::Start`], when the deployment directory is
+    /// guaranteed to be filled.
+    #[must_use]
+    pub fn new(spec: ProcessSpec) -> Self {
+        Self { spec, st: None }
+    }
+
+    fn me(&self) -> ProcessId {
+        self.spec.pid
+    }
+
+    fn initialize(&mut self, ctx: &mut Context<'_>) {
+        // Under the live driver, Start can race directory publication;
+        // retry shortly (the simulator publishes before running, so the
+        // retry path never triggers there).
+        let dir: DirectoryData = match self.spec.directory.try_get() {
+            Some(d) => d.clone(),
+            None => {
+                ctx.set_timer(Duration::from_millis(10), TOKEN_INIT_RETRY);
+                return;
+            }
+        };
+        let dir = &dir;
+        let me = self.me();
+        let peers: Vec<ProcessId> = dir.processes.iter().map(|(p, _)| *p).collect();
+        let peer_actors: BTreeMap<ProcessId, ActorId> =
+            dir.processes.iter().copied().collect();
+        let membership =
+            Membership::new(me, &peers, self.spec.config.failure_timeout, ctx.now());
+
+        // Placement chains are computed from the directory's static
+        // reachability — identically at every process (§7).
+        let reach: Vec<placement::Reachability> = peers
+            .iter()
+            .map(|p| {
+                placement::Reachability::new(
+                    *p,
+                    dir.sensors
+                        .iter()
+                        .filter(|s| s.reachers.contains(p))
+                        .map(|s| s.id)
+                        .collect(),
+                    dir.actuators
+                        .iter()
+                        .filter(|a| a.reachers.contains(p))
+                        .map(|a| a.id)
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut apps = Vec::new();
+        let mut window_timers = Vec::new();
+        for (idx, (spec, probe)) in self.spec.apps.iter().enumerate() {
+            let chain =
+                placement::chain_for(&reach, &spec.sensors(), &spec.actuators());
+            let exec = ExecutionState::new(me, chain);
+            // Window timer inventory comes from a throwaway runtime.
+            let rt = AppRuntime::new(Arc::clone(spec)).expect("validated app");
+            for (op, stream, period) in rt.timer_streams() {
+                window_timers.push((idx, op, stream, period));
+            }
+            apps.push(AppRt {
+                spec: Arc::clone(spec),
+                probe: Arc::clone(probe),
+                exec,
+                runtime: None,
+                stale_reported: 0,
+            });
+        }
+
+        // Sensor runtime info: delivery guarantee and polling plan are
+        // taken from the first app input wiring each sensor.
+        let mut sensors: HashMap<SensorId, SensorRt> = HashMap::new();
+        for entry in &dir.sensors {
+            let mut delivery = Delivery::Gapless;
+            let mut poll = None;
+            let mut subscribed_apps = Vec::new();
+            for (idx, (app, _)) in self.spec.apps.iter().enumerate() {
+                for op in &app.operators {
+                    for input in &op.inputs {
+                        if input.sensor != entry.id {
+                            continue;
+                        }
+                        if !subscribed_apps.contains(&idx) {
+                            subscribed_apps.push(idx);
+                        }
+                        delivery = input.delivery;
+                        if let (Some(spec_poll), true, Some(latency)) = (
+                            input.poll.as_ref(),
+                            entry.reachers.contains(&me),
+                            entry.poll_latency,
+                        ) {
+                            let strategy = spec_poll.effective_strategy(input.delivery);
+                            let slot = entry
+                                .reachers
+                                .iter()
+                                .position(|p| *p == me)
+                                .expect("me is a reacher");
+                            poll = Some(PollRt {
+                                state: PollState::new(
+                                    crate::delivery::polling::PollPlan {
+                                        sensor: entry.id,
+                                        epoch: spec_poll.epoch,
+                                        poll_latency: latency,
+                                        strategy,
+                                    },
+                                    slot,
+                                    entry.reachers.len(),
+                                ),
+                                participates: false,
+                            });
+                        }
+                    }
+                }
+            }
+            sensors.insert(
+                entry.id,
+                SensorRt {
+                    device: entry.actor,
+                    reachers: entry.reachers.clone(),
+                    delivery,
+                    poll,
+                    subscribed_apps,
+                },
+            );
+        }
+
+        let actuators = dir
+            .actuators
+            .iter()
+            .map(|a| (a.id, (a.actor, a.reachers.clone())))
+            .collect();
+
+        self.st = Some(Initialized {
+            membership,
+            gapless: GaplessState::new(
+                me,
+                self.spec.config.store_cap_per_sensor,
+                self.spec.config.anti_entropy,
+            ),
+            rbcast: RbcastState::new(me),
+            apps,
+            sensors,
+            actuators,
+            peer_actors,
+            processed: HashMap::new(),
+            window_timers,
+            cmd_seq: HashMap::new(),
+            last_successor: None,
+        });
+
+        // Kick off the periodic tick (keep-alives, failure detection,
+        // election, broadcast retransmission) and polling epochs.
+        self.tick(ctx);
+        let sensor_ids: Vec<SensorId> = {
+            let st = self.st.as_ref().expect("initialized");
+            st.sensors
+                .iter()
+                .filter(|(_, s)| s.poll.is_some())
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for sensor in sensor_ids {
+            self.epoch_boundary(ctx, sensor);
+        }
+    }
+
+    /// The periodic tick: keep-alives, view maintenance, election,
+    /// broadcast retransmission.
+    fn tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let me = self.me();
+        let mut sends: Vec<(ProcessId, ProcMsg)> = Vec::new();
+        {
+            let st = self.st.as_mut().expect("initialized");
+            // Keep-alives go to every configured peer, not just the
+            // view: a healed partition must be able to un-suspect.
+            let processed: Vec<(SensorId, u64)> = {
+                let mut v: Vec<(SensorId, u64)> =
+                    st.processed.iter().map(|(s, q)| (*s, *q)).collect();
+                v.sort_unstable_by_key(|(s, _)| *s);
+                v
+            };
+            for peer in st.membership.peers().to_vec() {
+                sends.push((
+                    peer,
+                    ProcMsg::KeepAlive { from: me, processed: processed.clone() },
+                ));
+            }
+            // Ring successor maintenance + anti-entropy.
+            let successor = st.membership.ring_successor(now);
+            if successor != st.last_successor {
+                st.last_successor = successor;
+                if let Some(Action::Send { to, msg }) =
+                    st.gapless.on_successor_change(successor)
+                {
+                    sends.push((to, msg));
+                }
+            }
+            // Reliable-broadcast retransmission.
+            let view = st.membership.view(now);
+            for action in st.rbcast.on_tick(&view) {
+                if let Action::Send { to, msg } = action {
+                    sends.push((to, msg));
+                }
+            }
+            // Watermark garbage collection: events processed home-wide
+            // and older than the straggler horizon will never be
+            // replayed or synced again.
+            if self.spec.config.store_gc {
+                let horizon = now.duration_since(Time::ZERO);
+                let cutoff = if horizon > GC_STRAGGLER_HORIZON {
+                    Time::ZERO + (horizon - GC_STRAGGLER_HORIZON)
+                } else {
+                    Time::ZERO
+                };
+                let marks: Vec<(SensorId, u64)> =
+                    st.processed.iter().map(|(s, q)| (*s, *q)).collect();
+                for (sensor, upto) in marks {
+                    let _ = st.gapless.store_mut().prune_processed(sensor, upto, cutoff);
+                }
+            }
+        }
+        for (to, msg) in sends {
+            self.send_proc(ctx, to, msg);
+        }
+        self.election(ctx);
+        ctx.set_timer(self.spec.config.keepalive_interval, TOKEN_TICK);
+    }
+
+    /// Re-evaluates the election for every app, handling promotion
+    /// replay and demotion teardown.
+    fn election(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let me = self.me();
+        let n_apps = self.st.as_ref().expect("initialized").apps.len();
+        for idx in 0..n_apps {
+            let transition = {
+                let st = self.st.as_mut().expect("initialized");
+                let membership = &st.membership;
+                st.apps[idx].exec.reevaluate(|p| membership.is_alive(p, now))
+            };
+            match transition {
+                Some(Transition::Promoted) => {
+                    let (spec, probe) = {
+                        let st = self.st.as_ref().expect("initialized");
+                        let app = &st.apps[idx];
+                        (Arc::clone(&app.spec), Arc::clone(&app.probe))
+                    };
+                    probe.record_transition(now, me, true);
+                    let runtime = AppRuntime::new(spec).expect("validated app");
+                    {
+                        let app = &mut self.st.as_mut().expect("initialized").apps[idx];
+                        app.runtime = Some(runtime);
+                        app.stale_reported = 0;
+                    }
+                    // Arm this app's window timers.
+                    let timers: Vec<(usize, Duration)> = {
+                        let st = self.st.as_ref().expect("initialized");
+                        st.window_timers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (a, ..))| *a == idx)
+                            .map(|(i, (.., d))| (i, *d))
+                            .collect()
+                    };
+                    for (i, period) in timers {
+                        ctx.set_timer(period, token(KIND_WINDOW, i as u32));
+                    }
+                    self.replay_outstanding(ctx, idx);
+                }
+                Some(Transition::Demoted) => {
+                    let st = self.st.as_mut().expect("initialized");
+                    st.apps[idx].runtime = None;
+                    st.apps[idx].probe.record_transition(now, me, false);
+                    let to_cancel: Vec<usize> = st
+                        .window_timers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (a, ..))| *a == idx)
+                        .map(|(i, _)| i)
+                        .collect();
+                    for i in to_cancel {
+                        ctx.cancel_timer(token(KIND_WINDOW, i as u32));
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// On promotion: feed replicated-but-unprocessed events (above the
+    /// merged processed watermarks) into the fresh runtime, in
+    /// per-sensor sequence order — this produces the Fig. 7 catch-up
+    /// spike under Gapless delivery.
+    fn replay_outstanding(&mut self, ctx: &mut Context<'_>, app_idx: usize) {
+        let events: Vec<Event> = {
+            let st = self.st.as_ref().expect("initialized");
+            let spec = &st.apps[app_idx].spec;
+            let mut out = Vec::new();
+            for sensor in spec.sensors() {
+                // Only Gapless inputs are replicated in the store.
+                let after = st.processed.get(&sensor).copied();
+                out.extend(st.gapless.store().events_after(sensor, after));
+            }
+            out
+        };
+        for event in events {
+            self.process_at_app(ctx, app_idx, &event);
+        }
+    }
+
+    /// Routes one newly known event to a specific active app runtime.
+    fn process_at_app(&mut self, ctx: &mut Context<'_>, app_idx: usize, event: &Event) {
+        let now = ctx.now();
+        let me = self.me();
+        let outputs = {
+            let st = self.st.as_mut().expect("initialized");
+            let app = &mut st.apps[app_idx];
+            let Some(runtime) = app.runtime.as_mut() else { return };
+            if !runtime.subscribes_to(event.id.sensor) {
+                return;
+            }
+            app.probe.record_delivery(DeliveryRecord {
+                at: now,
+                by: me,
+                event: event.id,
+                emitted_at: event.emitted_at,
+            });
+            let outputs = runtime.on_event(now, event);
+            let stale = runtime.stale_drops();
+            if stale > app.stale_reported {
+                app.probe.record_stale_drops(stale - app.stale_reported);
+                app.stale_reported = stale;
+            }
+            let mark = st.processed.entry(event.id.sensor).or_insert(0);
+            *mark = (*mark).max(event.id.seq);
+            outputs
+        };
+        self.handle_outputs(ctx, app_idx, outputs);
+    }
+
+    /// Routes a newly known event to every active app (Gapless
+    /// delivery path and Gap local delivery path).
+    fn deliver_to_apps(&mut self, ctx: &mut Context<'_>, event: &Event) {
+        self.note_epoch_event(ctx, event);
+        let n_apps = self.st.as_ref().expect("initialized").apps.len();
+        for idx in 0..n_apps {
+            let active = self.st.as_ref().expect("initialized").apps[idx].exec.is_active();
+            if active {
+                self.process_at_app(ctx, idx, event);
+            }
+        }
+    }
+
+    /// Marks polling-epoch satisfaction and cancels pending poll timers
+    /// when an event for the current epoch arrives by any path.
+    fn note_epoch_event(&mut self, ctx: &mut Context<'_>, event: &Event) {
+        let Some(epoch) = event.epoch else { return };
+        let sensor = event.id.sensor;
+        let st = self.st.as_mut().expect("initialized");
+        let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+        let Some(poll) = rt.poll.as_mut() else { return };
+        if poll.state.on_event(epoch) {
+            ctx.cancel_timer(token(KIND_SLOT, sensor.as_u32()));
+            ctx.cancel_timer(token(KIND_REPOLL, sensor.as_u32()));
+        }
+    }
+
+    /// Applies delivery-service actions (sends + local deliveries).
+    fn apply_actions(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.send_proc(ctx, to, msg),
+                Action::Deliver { event } => self.deliver_to_apps(ctx, &event),
+            }
+        }
+    }
+
+    fn send_proc(&mut self, ctx: &mut Context<'_>, to: ProcessId, msg: ProcMsg) {
+        if to == self.me() {
+            return;
+        }
+        let Some(actor) = self
+            .st
+            .as_ref()
+            .expect("initialized")
+            .peer_actors
+            .get(&to)
+            .copied()
+        else {
+            return;
+        };
+        ctx.send(actor, msg.to_bytes());
+    }
+
+    /// Handles operator outputs: actuation routing and alerts.
+    fn handle_outputs(
+        &mut self,
+        ctx: &mut Context<'_>,
+        app_idx: usize,
+        outputs: Vec<crate::app::RuntimeOutput>,
+    ) {
+        let now = ctx.now();
+        let me = self.me();
+        for out in outputs {
+            match out.output {
+                OpOutput::Actuate { actuator, kind } => {
+                    let command = {
+                        let st = self.st.as_mut().expect("initialized");
+                        let seq = st.cmd_seq.entry(out.operator).or_insert(0);
+                        let id = CommandId::new(me, out.operator, *seq);
+                        *seq += 1;
+                        let command = Command::new(id, actuator, kind, now);
+                        st.apps[app_idx]
+                            .probe
+                            .record_command(now, command.clone());
+                        command
+                    };
+                    self.route_command(ctx, command);
+                }
+                OpOutput::Alert { message } => {
+                    let st = self.st.as_ref().expect("initialized");
+                    st.apps[app_idx].probe.record_alert(now, me, message);
+                }
+                OpOutput::Emit { .. } => {
+                    // Internal cascades were resolved inside the runtime.
+                }
+            }
+        }
+    }
+
+    /// Sends a command to the actuator: directly via the local adapter
+    /// when reachable, otherwise forwarded to the closest live process
+    /// with an active actuator node (§4's "analogous" command path).
+    fn route_command(&mut self, ctx: &mut Context<'_>, command: Command) {
+        let now = ctx.now();
+        let me = self.me();
+        let (device, reachers) = {
+            let st = self.st.as_ref().expect("initialized");
+            let Some((device, reachers)) = st.actuators.get(&command.actuator) else {
+                return;
+            };
+            (*device, reachers.clone())
+        };
+        if reachers.contains(&me) {
+            ctx.send(device, RadioFrame::Actuate(command).to_payload());
+            return;
+        }
+        let target = {
+            let st = self.st.as_ref().expect("initialized");
+            reachers
+                .iter()
+                .copied()
+                .find(|p| st.membership.is_alive(*p, now))
+        };
+        if let Some(target) = target {
+            self.send_proc(ctx, target, ProcMsg::CmdForward { command });
+        }
+    }
+
+    /// An event arrived from a physical sensor via the local adapter.
+    fn on_sensor_event(&mut self, ctx: &mut Context<'_>, event: Event) {
+        let now = ctx.now();
+        let me = self.me();
+        self.note_epoch_event(ctx, &event);
+        let delivery = {
+            let st = self.st.as_ref().expect("initialized");
+            match st.sensors.get(&event.id.sensor) {
+                Some(rt) => rt.delivery,
+                None => return, // unknown device: ignore
+            }
+        };
+        match delivery {
+            Delivery::Gapless
+                if self.spec.config.forwarding
+                    == crate::config::ForwardingMode::EagerBroadcast =>
+            {
+                // Fig. 5 baseline: flood to all peers unless the event
+                // already arrived from another process.
+                let (deliver, peers) = {
+                    let st = self.st.as_mut().expect("initialized");
+                    let deliver = st.gapless.on_broadcast_copy(event.clone());
+                    let peers: Vec<ProcessId> = st
+                        .membership
+                        .view(now)
+                        .into_iter()
+                        .filter(|p| *p != me)
+                        .collect();
+                    (deliver, peers)
+                };
+                if let Some(action) = deliver {
+                    self.apply_actions(ctx, vec![action]);
+                    for peer in peers {
+                        self.send_proc(
+                            ctx,
+                            peer,
+                            ProcMsg::Broadcast { event: event.clone(), origin: me },
+                        );
+                    }
+                }
+            }
+            Delivery::Gapless => {
+                let (actions, broadcast) = {
+                    let st = self.st.as_mut().expect("initialized");
+                    let view = st.membership.view(now);
+                    let successor = st.membership.ring_successor(now);
+                    let outcome = st.gapless.on_local_ingest(event, &view, successor);
+                    (outcome.actions, outcome.start_broadcast)
+                };
+                self.apply_actions(ctx, actions);
+                if let Some(ev) = broadcast {
+                    self.start_broadcast(ctx, ev);
+                }
+            }
+            Delivery::Gap => {
+                let role = {
+                    let st = self.st.as_ref().expect("initialized");
+                    let rt = st.sensors.get(&event.id.sensor).expect("known sensor");
+                    // The Gap chain follows the placement chain of the
+                    // first subscribing app.
+                    let Some(&app_idx) = rt.subscribed_apps.first() else {
+                        return;
+                    };
+                    let app = &st.apps[app_idx];
+                    let membership = &st.membership;
+                    let Some(active) =
+                        app.exec.believed_active(|p| membership.is_alive(p, now))
+                    else {
+                        return;
+                    };
+                    gap::role_of(
+                        me,
+                        app.exec.chain(),
+                        &rt.reachers,
+                        |p| membership.is_alive(p, now),
+                        active,
+                    )
+                };
+                match role {
+                    GapRole::DeliverLocally => self.deliver_to_apps(ctx, &event),
+                    GapRole::ForwardTo(target) => {
+                        self.send_proc(ctx, target, ProcMsg::GapForward { event });
+                    }
+                    GapRole::Discard => {}
+                }
+            }
+        }
+    }
+
+    fn start_broadcast(&mut self, ctx: &mut Context<'_>, event: Event) {
+        let actions = {
+            let st = self.st.as_mut().expect("initialized");
+            let view = st.membership.view(ctx.now());
+            st.rbcast.start(event, &view)
+        };
+        self.apply_actions(ctx, actions);
+    }
+
+    /// A protocol message arrived from a peer process.
+    fn on_proc_msg(&mut self, ctx: &mut Context<'_>, msg: ProcMsg) {
+        let now = ctx.now();
+        // Any traffic proves liveness.
+        let sender = match &msg {
+            ProcMsg::KeepAlive { from, .. }
+            | ProcMsg::SyncRequest { from }
+            | ProcMsg::SyncReply { from, .. }
+            | ProcMsg::BroadcastAck { from, .. } => Some(*from),
+            ProcMsg::Broadcast { origin, .. } => Some(*origin),
+            _ => None,
+        };
+        if let Some(from) = sender {
+            self.st
+                .as_mut()
+                .expect("initialized")
+                .membership
+                .heard_from(from, now);
+        }
+        match msg {
+            ProcMsg::KeepAlive { from: _, processed } => {
+                let st = self.st.as_mut().expect("initialized");
+                for (sensor, seq) in processed {
+                    let mark = st.processed.entry(sensor).or_insert(0);
+                    *mark = (*mark).max(seq);
+                }
+            }
+            ProcMsg::Ring { event, seen, need } => {
+                let (actions, broadcast) = {
+                    let st = self.st.as_mut().expect("initialized");
+                    let view = st.membership.view(now);
+                    let successor = st.membership.ring_successor(now);
+                    let outcome =
+                        st.gapless.on_ring(event, seen, need, &view, successor);
+                    (outcome.actions, outcome.start_broadcast)
+                };
+                self.apply_actions(ctx, actions);
+                if let Some(ev) = broadcast {
+                    self.start_broadcast(ctx, ev);
+                }
+            }
+            ProcMsg::Broadcast { event, origin } => {
+                let eager = self.spec.config.forwarding
+                    == crate::config::ForwardingMode::EagerBroadcast;
+                let (deliver, acks) = {
+                    let st = self.st.as_mut().expect("initialized");
+                    let deliver = st.gapless.on_broadcast_copy(event.clone());
+                    // The eager baseline floods once with no
+                    // acknowledgement machinery; the ring's fallback
+                    // acks and relays.
+                    let acks = if eager {
+                        Vec::new()
+                    } else {
+                        let view = st.membership.view(now);
+                        st.rbcast.on_broadcast(&event, origin, deliver.is_some(), &view)
+                    };
+                    (deliver, acks)
+                };
+                if let Some(action) = deliver {
+                    self.apply_actions(ctx, vec![action]);
+                }
+                self.apply_actions(ctx, acks);
+            }
+            ProcMsg::BroadcastAck { id, from } => {
+                self.st.as_mut().expect("initialized").rbcast.on_ack(id, from);
+            }
+            ProcMsg::GapForward { event } => self.deliver_to_apps(ctx, &event),
+            ProcMsg::SyncRequest { from } => {
+                let action = self.st.as_ref().expect("initialized").gapless.on_sync_request(from);
+                self.apply_actions(ctx, vec![action]);
+            }
+            ProcMsg::SyncReply { from, watermarks } => {
+                let action = self
+                    .st
+                    .as_ref()
+                    .expect("initialized")
+                    .gapless
+                    .on_sync_reply(from, &watermarks);
+                if let Some(action) = action {
+                    self.apply_actions(ctx, vec![action]);
+                }
+            }
+            ProcMsg::SyncEvents { events } => {
+                let actions = self
+                    .st
+                    .as_mut()
+                    .expect("initialized")
+                    .gapless
+                    .on_sync_events(events);
+                self.apply_actions(ctx, actions);
+            }
+            ProcMsg::CmdForward { command } => {
+                let reachable = {
+                    let st = self.st.as_ref().expect("initialized");
+                    st.actuators
+                        .get(&command.actuator)
+                        .is_some_and(|(_, reachers)| reachers.contains(&self.spec.pid))
+                };
+                if reachable {
+                    let device = self
+                        .st
+                        .as_ref()
+                        .expect("initialized")
+                        .actuators[&command.actuator]
+                        .0;
+                    ctx.send(device, RadioFrame::Actuate(command).to_payload());
+                }
+            }
+        }
+    }
+
+    /// Epoch boundary for a polled sensor: close the previous epoch,
+    /// open the next, and arm the slot timer.
+    fn epoch_boundary(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
+        let now = ctx.now();
+        let me = self.me();
+        // Close the previous epoch (skipped on the very first call at
+        // time zero).
+        let mut missed_for_apps: Vec<usize> = Vec::new();
+        let (epoch_len, participates, slot_delay) = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let delivery = rt.delivery;
+            let subscribed = rt.subscribed_apps.clone();
+            let reachers = rt.reachers.clone();
+            let Some(poll) = rt.poll.as_mut() else { return };
+            let epoch_len = poll.state.plan().epoch;
+            if now > Time::ZERO && poll.participates {
+                let missed = poll.state.on_epoch_end();
+                if missed && delivery == Delivery::Gapless {
+                    missed_for_apps = subscribed.clone();
+                }
+            }
+            // Which epoch starts now?
+            let epoch_idx = now.as_micros() / epoch_len.as_micros().max(1);
+            // Participation: Gapless strategies involve every reacher;
+            // GapSingle only the designated poller.
+            let strategy = poll.state.plan().strategy;
+            let participates = match strategy {
+                PollStrategy::Coordinated | PollStrategy::Uncoordinated => true,
+                PollStrategy::GapSingle => {
+                    let app_idx = subscribed.first().copied();
+                    match app_idx {
+                        None => false,
+                        Some(idx) => {
+                            let membership = &st.membership;
+                            let app = &st.apps[idx];
+                            let active = app
+                                .exec
+                                .believed_active(|p| membership.is_alive(p, now));
+                            match active {
+                                None => false,
+                                Some(active) => {
+                                    gap::forwarder(
+                                        app.exec.chain(),
+                                        &reachers,
+                                        |p| membership.is_alive(p, now),
+                                        active,
+                                    ) == Some(me)
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            let rt = st.sensors.get_mut(&sensor).expect("known sensor");
+            let poll = rt.poll.as_mut().expect("poll state");
+            poll.participates = participates;
+            let slot_delay = poll.state.on_epoch_start(epoch_idx, participates, ctx.rng());
+            (epoch_len, participates, slot_delay)
+        };
+        // Stale poll timers from the previous epoch must not leak.
+        ctx.cancel_timer(token(KIND_SLOT, sensor.as_u32()));
+        ctx.cancel_timer(token(KIND_REPOLL, sensor.as_u32()));
+        if participates {
+            if let Some(delay) = slot_delay {
+                ctx.set_timer(delay, token(KIND_SLOT, sensor.as_u32()));
+            }
+        }
+        // Surface misses to active apps (the Gapless exception).
+        for idx in missed_for_apps {
+            let outputs = {
+                let st = self.st.as_mut().expect("initialized");
+                let app = &mut st.apps[idx];
+                if let Some(runtime) = app.runtime.as_mut() {
+                    app.probe.record_epoch_miss();
+                    runtime.on_epoch_miss(now, sensor)
+                } else {
+                    Vec::new()
+                }
+            };
+            self.handle_outputs(ctx, idx, outputs);
+        }
+        // Next boundary.
+        ctx.set_timer(epoch_len, token(KIND_EPOCH, sensor.as_u32()));
+    }
+
+    fn send_poll(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
+        let (device, epoch) = {
+            let st = self.st.as_ref().expect("initialized");
+            let Some(rt) = st.sensors.get(&sensor) else { return };
+            let Some(poll) = rt.poll.as_ref() else { return };
+            (rt.device, poll.state.current_epoch())
+        };
+        ctx.send(device, RadioFrame::PollRequest { sensor, epoch }.to_payload());
+    }
+
+    fn slot_fired(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
+        let (should_poll, coordinated, latency) = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let Some(poll) = rt.poll.as_mut() else { return };
+            let coordinated = poll.state.plan().strategy == PollStrategy::Coordinated;
+            let latency = poll.state.plan().poll_latency;
+            (poll.state.on_slot(), coordinated, latency)
+        };
+        if should_poll {
+            self.send_poll(ctx, sensor);
+            if coordinated {
+                ctx.set_timer(
+                    latency + self.spec.config.repoll_margin,
+                    token(KIND_REPOLL, sensor.as_u32()),
+                );
+            }
+        }
+    }
+
+    fn repoll_fired(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
+        let (should_repoll, latency) = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let Some(poll) = rt.poll.as_mut() else { return };
+            (poll.state.on_repoll(), poll.state.plan().poll_latency)
+        };
+        if should_repoll {
+            self.send_poll(ctx, sensor);
+            ctx.set_timer(
+                latency + self.spec.config.repoll_margin,
+                token(KIND_REPOLL, sensor.as_u32()),
+            );
+        }
+    }
+
+    fn window_fired(&mut self, ctx: &mut Context<'_>, idx: usize) {
+        let now = ctx.now();
+        let Some((app_idx, outputs, period)) = ({
+            let st = self.st.as_mut().expect("initialized");
+            st.window_timers.get(idx).cloned().and_then(
+                |(app_idx, op, stream, period)| {
+                    let app = &mut st.apps[app_idx];
+                    app.runtime.as_mut().map(|rt| {
+                        (app_idx, rt.on_time_trigger(now, op, stream), period)
+                    })
+                },
+            )
+        }) else {
+            return;
+        };
+        self.handle_outputs(ctx, app_idx, outputs);
+        ctx.set_timer(period, token(KIND_WINDOW, idx as u32));
+    }
+}
+
+impl Actor for RivuletProcess {
+    fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+        match event {
+            ActorEvent::Start => self.initialize(ctx),
+            ActorEvent::Message { from, payload } => {
+                if self.st.is_none() {
+                    return; // racing message before Start: drop
+                }
+                let is_peer = self
+                    .st
+                    .as_ref()
+                    .expect("initialized")
+                    .peer_actors
+                    .values()
+                    .any(|a| *a == from);
+                if is_peer {
+                    if let Ok(msg) = ProcMsg::from_bytes(&payload) {
+                        self.on_proc_msg(ctx, msg);
+                    }
+                } else if let Ok(frame) = RadioFrame::from_bytes(&payload) {
+                    match frame {
+                        RadioFrame::Event(event) => self.on_sensor_event(ctx, event),
+                        RadioFrame::ActuateAck { .. } => {
+                            // Acknowledgements are observable via the
+                            // actuator probe; nothing to do here.
+                        }
+                        // Devices never send these to processes.
+                        RadioFrame::PollRequest { .. } | RadioFrame::Actuate(_) => {}
+                    }
+                }
+            }
+            ActorEvent::Timer { token: t } => {
+                if self.st.is_none() {
+                    if t == TOKEN_INIT_RETRY {
+                        self.initialize(ctx);
+                    }
+                    return;
+                }
+                match (t >> 32, t & 0xffff_ffff) {
+                    (0, TOKEN_TICK) => self.tick(ctx),
+                    (KIND_EPOCH, s) => self.epoch_boundary(ctx, SensorId(s as u32)),
+                    (KIND_SLOT, s) => self.slot_fired(ctx, SensorId(s as u32)),
+                    (KIND_REPOLL, s) => self.repoll_fired(ctx, SensorId(s as u32)),
+                    (KIND_WINDOW, i) => self.window_fired(ctx, i as usize),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The per-process replicated event store.
+//!
+//! Gapless delivery replicates every ingested event at all available
+//! processes (§4.1). [`EventStore`] is one process's replica: it
+//! deduplicates (the ring revisits processes), answers the Bayou-style
+//! watermark queries used by successor synchronization, and computes
+//! the difference set to ship to a lagging successor.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rivulet_types::{Event, EventId, SensorId, Time};
+
+/// A bounded, per-sensor-ordered store of replicated events.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    by_sensor: HashMap<SensorId, BTreeMap<u64, Event>>,
+    cap_per_sensor: usize,
+    inserted: u64,
+    evicted: u64,
+}
+
+impl EventStore {
+    /// Creates a store retaining at most `cap_per_sensor` events per
+    /// sensor (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_per_sensor` is zero.
+    #[must_use]
+    pub fn new(cap_per_sensor: usize) -> Self {
+        assert!(cap_per_sensor > 0, "store capacity must be positive");
+        Self { by_sensor: HashMap::new(), cap_per_sensor, inserted: 0, evicted: 0 }
+    }
+
+    /// Whether the event identified by `id` has been stored before.
+    #[must_use]
+    pub fn seen(&self, id: EventId) -> bool {
+        self.by_sensor
+            .get(&id.sensor)
+            .is_some_and(|m| m.contains_key(&id.seq))
+    }
+
+    /// Inserts `event`; returns `true` if it was new, `false` if it was
+    /// a duplicate (in which case the store is unchanged).
+    pub fn insert(&mut self, event: Event) -> bool {
+        let per = self.by_sensor.entry(event.id.sensor).or_default();
+        if per.contains_key(&event.id.seq) {
+            return false;
+        }
+        per.insert(event.id.seq, event);
+        self.inserted += 1;
+        while per.len() > self.cap_per_sensor {
+            let oldest = *per.keys().next().expect("non-empty");
+            per.remove(&oldest);
+            self.evicted += 1;
+        }
+        true
+    }
+
+    /// The highest sequence number stored for `sensor`, if any — the
+    /// Bayou-style watermark exchanged during successor sync.
+    #[must_use]
+    pub fn watermark(&self, sensor: SensorId) -> Option<u64> {
+        self.by_sensor
+            .get(&sensor)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// All `(sensor, watermark)` pairs, sorted by sensor for
+    /// deterministic wire encoding.
+    #[must_use]
+    pub fn watermarks(&self) -> Vec<(SensorId, u64)> {
+        let mut out: Vec<(SensorId, u64)> = self
+            .by_sensor
+            .iter()
+            .filter_map(|(s, m)| m.keys().next_back().map(|q| (*s, *q)))
+            .collect();
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Events of `sensor` with sequence numbers strictly greater than
+    /// `after` (or all if `after` is `None`), ascending.
+    #[must_use]
+    pub fn events_after(&self, sensor: SensorId, after: Option<u64>) -> Vec<Event> {
+        let Some(per) = self.by_sensor.get(&sensor) else {
+            return Vec::new();
+        };
+        match after {
+            None => per.values().cloned().collect(),
+            Some(seq) => per
+                .range(seq.saturating_add(1)..)
+                .map(|(_, e)| e.clone())
+                .collect(),
+        }
+    }
+
+    /// Computes the events a peer with `peer_watermarks` is missing:
+    /// for every sensor we know, everything above the peer's watermark.
+    ///
+    /// This is the paper's Bayou-style sync: it cannot recover holes
+    /// *below* the peer's watermark (a deliberate, documented
+    /// approximation of §4.1), but after a successor change it brings
+    /// the successor up to our high-water mark.
+    #[must_use]
+    pub fn diff_for(&self, peer_watermarks: &[(SensorId, u64)]) -> Vec<Event> {
+        let peer: HashMap<SensorId, u64> = peer_watermarks.iter().copied().collect();
+        let mut sensors: Vec<&SensorId> = self.by_sensor.keys().collect();
+        sensors.sort_unstable();
+        let mut out = Vec::new();
+        for sensor in sensors {
+            let after = peer.get(sensor).copied();
+            out.extend(self.events_after(*sensor, after));
+        }
+        out
+    }
+
+    /// Removes all events of `sensor` with sequence numbers `<= upto`,
+    /// returning how many were removed.
+    ///
+    /// Used for watermark-based garbage collection: once every process
+    /// has learned (via keep-alives) that the active logic node
+    /// processed a sensor's stream through `upto`, those events can
+    /// never be needed by a failover replay again, and anti-entropy
+    /// only ships events above a peer's watermark — so they are dead
+    /// weight. Production GC uses [`EventStore::prune_processed`],
+    /// which additionally age-guards against straggler duplicates.
+    pub fn prune_through(&mut self, sensor: SensorId, upto: u64) -> usize {
+        let Some(per) = self.by_sensor.get_mut(&sensor) else {
+            return 0;
+        };
+        let removed = if upto == u64::MAX {
+            let n = per.len();
+            per.clear();
+            n
+        } else {
+            let keep = per.split_off(&(upto + 1));
+            let n = per.len();
+            *per = keep;
+            n
+        };
+        self.evicted += removed as u64;
+        removed
+    }
+
+    /// Removes events of `sensor` that are both processed
+    /// (`seq <= upto`) **and** old (`emitted_at < emitted_before`),
+    /// returning how many were removed.
+    ///
+    /// The age guard keeps recently processed events around so that a
+    /// straggling duplicate copy (a late ring message, broadcast
+    /// retransmission, or anti-entropy refill) still hits the store's
+    /// duplicate check instead of being re-delivered to applications.
+    pub fn prune_processed(
+        &mut self,
+        sensor: SensorId,
+        upto: u64,
+        emitted_before: Time,
+    ) -> usize {
+        let Some(per) = self.by_sensor.get_mut(&sensor) else {
+            return 0;
+        };
+        let doomed: Vec<u64> = per
+            .range(..=upto)
+            .filter(|(_, e)| e.emitted_at < emitted_before)
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in &doomed {
+            per.remove(seq);
+        }
+        self.evicted += doomed.len() as u64;
+        doomed.len()
+    }
+
+    /// Events ever inserted (excluding rejected duplicates).
+    #[must_use]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Events evicted by the per-sensor cap.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Current number of retained events across all sensors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_sensor.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the store holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::{EventKind, Time};
+
+    fn ev(sensor: u32, seq: u64) -> Event {
+        Event::new(
+            EventId::new(SensorId(sensor), seq),
+            EventKind::Motion,
+            Time::from_millis(seq),
+        )
+    }
+
+    #[test]
+    fn insert_dedup_and_seen() {
+        let mut s = EventStore::new(10);
+        assert!(!s.seen(EventId::new(SensorId(1), 0)));
+        assert!(s.insert(ev(1, 0)));
+        assert!(s.seen(EventId::new(SensorId(1), 0)));
+        assert!(!s.insert(ev(1, 0)), "duplicate rejected");
+        assert_eq!(s.inserted(), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn watermark_tracks_highest_seq() {
+        let mut s = EventStore::new(10);
+        assert_eq!(s.watermark(SensorId(1)), None);
+        s.insert(ev(1, 5));
+        s.insert(ev(1, 2));
+        assert_eq!(s.watermark(SensorId(1)), Some(5));
+        s.insert(ev(2, 0));
+        assert_eq!(s.watermarks(), vec![(SensorId(1), 5), (SensorId(2), 0)]);
+    }
+
+    #[test]
+    fn events_after_is_exclusive_and_sorted() {
+        let mut s = EventStore::new(10);
+        for seq in [3, 1, 7, 5] {
+            s.insert(ev(1, seq));
+        }
+        let after3: Vec<u64> = s
+            .events_after(SensorId(1), Some(3))
+            .iter()
+            .map(|e| e.id.seq)
+            .collect();
+        assert_eq!(after3, vec![5, 7]);
+        let all: Vec<u64> =
+            s.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
+        assert_eq!(all, vec![1, 3, 5, 7]);
+        assert!(s.events_after(SensorId(9), None).is_empty());
+    }
+
+    #[test]
+    fn diff_for_covers_unknown_sensors_and_lagging_peers() {
+        let mut s = EventStore::new(10);
+        s.insert(ev(1, 0));
+        s.insert(ev(1, 1));
+        s.insert(ev(2, 4));
+        // Peer knows sensor 1 up to 0, nothing of sensor 2.
+        let diff = s.diff_for(&[(SensorId(1), 0)]);
+        let ids: Vec<(u32, u64)> =
+            diff.iter().map(|e| (e.id.sensor.as_u32(), e.id.seq)).collect();
+        assert_eq!(ids, vec![(1, 1), (2, 4)]);
+        // Peer fully caught up → empty diff.
+        assert!(s.diff_for(&[(SensorId(1), 1), (SensorId(2), 4)]).is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut s = EventStore::new(3);
+        for seq in 0..5 {
+            s.insert(ev(1, seq));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        assert!(!s.seen(EventId::new(SensorId(1), 0)));
+        assert!(!s.seen(EventId::new(SensorId(1), 1)));
+        assert!(s.seen(EventId::new(SensorId(1), 4)));
+        assert_eq!(s.watermark(SensorId(1)), Some(4));
+    }
+
+    #[test]
+    fn prune_through_removes_only_old_events() {
+        let mut s = EventStore::new(100);
+        for seq in 0..10 {
+            s.insert(ev(1, seq));
+        }
+        s.insert(ev(2, 3));
+        assert_eq!(s.prune_through(SensorId(1), 4), 5, "seqs 0..=4 removed");
+        assert!(!s.seen(EventId::new(SensorId(1), 4)));
+        assert!(s.seen(EventId::new(SensorId(1), 5)));
+        assert_eq!(s.watermark(SensorId(1)), Some(9));
+        // Other sensors untouched.
+        assert!(s.seen(EventId::new(SensorId(2), 3)));
+        // Pruning an unknown sensor is a no-op.
+        assert_eq!(s.prune_through(SensorId(9), 100), 0);
+        // Re-pruning is idempotent.
+        assert_eq!(s.prune_through(SensorId(1), 4), 0);
+        assert_eq!(s.evicted(), 5);
+    }
+
+    #[test]
+    fn prune_processed_age_guards() {
+        let mut s = EventStore::new(100);
+        for seq in 0..10 {
+            s.insert(ev(1, seq)); // emitted at seq milliseconds
+        }
+        // Processed through 9, but only events emitted before t=5ms are
+        // old enough to collect.
+        let removed = s.prune_processed(SensorId(1), 9, Time::from_millis(5));
+        assert_eq!(removed, 5);
+        assert!(!s.seen(EventId::new(SensorId(1), 4)));
+        assert!(s.seen(EventId::new(SensorId(1), 5)), "recent events retained");
+        // Unprocessed events are never collected regardless of age.
+        let removed = s.prune_processed(SensorId(1), 6, Time::MAX);
+        assert_eq!(removed, 2, "only seqs 5 and 6");
+        assert!(s.seen(EventId::new(SensorId(1), 7)));
+    }
+
+    #[test]
+    fn prune_at_u64_max_clears_sensor() {
+        let mut s = EventStore::new(100);
+        s.insert(Event::new(
+            EventId::new(SensorId(1), u64::MAX),
+            EventKind::Motion,
+            Time::ZERO,
+        ));
+        s.insert(ev(1, 0));
+        assert_eq!(s.prune_through(SensorId(1), u64::MAX), 2);
+        assert_eq!(s.watermark(SensorId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "store capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = EventStore::new(0);
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let s = EventStore::new(1);
+        assert!(s.is_empty());
+        assert!(s.watermarks().is_empty());
+        assert!(s.diff_for(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rivulet_types::{EventKind, Time};
+
+    fn ev(sensor: u32, seq: u64) -> Event {
+        Event::new(
+            EventId::new(SensorId(sensor), seq),
+            EventKind::Motion,
+            Time::from_millis(seq),
+        )
+    }
+
+    proptest! {
+        /// After syncing a peer with `diff_for`, the peer's watermark
+        /// per sensor equals ours (the Bayou guarantee the ring sync
+        /// relies on).
+        #[test]
+        fn sync_equalizes_watermarks(
+            ours in proptest::collection::vec((0u32..4, 0u64..40), 0..80),
+            theirs in proptest::collection::vec((0u32..4, 0u64..40), 0..80),
+        ) {
+            let mut a = EventStore::new(1000);
+            let mut b = EventStore::new(1000);
+            for (s, q) in ours {
+                a.insert(ev(s, q));
+            }
+            for (s, q) in theirs.iter() {
+                // The peer holds a subset of globally emitted events.
+                b.insert(ev(*s, *q));
+            }
+            let diff = a.diff_for(&b.watermarks());
+            for e in diff {
+                b.insert(e);
+            }
+            for (sensor, wm) in a.watermarks() {
+                let peer_wm = b.watermark(sensor).expect("sensor now known");
+                prop_assert!(peer_wm >= wm, "peer {peer_wm} < ours {wm}");
+            }
+        }
+
+        /// Insert order never affects the retained set (same events,
+        /// any order, same store contents).
+        #[test]
+        fn insert_order_irrelevant(mut seqs in proptest::collection::vec(0u64..100, 1..50)) {
+            let mut a = EventStore::new(1000);
+            for &q in &seqs {
+                a.insert(ev(1, q));
+            }
+            seqs.reverse();
+            let mut b = EventStore::new(1000);
+            for &q in &seqs {
+                b.insert(ev(1, q));
+            }
+            prop_assert_eq!(a.watermark(SensorId(1)), b.watermark(SensorId(1)));
+            prop_assert_eq!(a.len(), b.len());
+            let ia: Vec<u64> = a.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
+            let ib: Vec<u64> = b.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
+            prop_assert_eq!(ia, ib);
+        }
+    }
+}

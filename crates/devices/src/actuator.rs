@@ -1,0 +1,341 @@
+//! Actuator devices: idempotent and Test&Set.
+//!
+//! The execution service may legitimately run multiple active logic
+//! nodes during a partition (paper §5). Whether that is safe depends on
+//! the actuator: *idempotent* actuations (light on, thermostat
+//! set-point, lock) can be repeated harmlessly, while *non-idempotent*
+//! ones (dispense water, brew coffee) need the `Test&Set` command to
+//! suppress duplicates. [`ActuatorDevice`] implements both and records
+//! every physical effect so experiments can count duplicate actuations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rivulet_net::actor::{Actor, ActorEvent, Context};
+use rivulet_types::wire::Wire;
+use rivulet_types::{ActuationState, ActuatorId, CommandId, CommandKind, Time};
+
+use crate::frame::RadioFrame;
+
+/// Ground truth about an actuator's behaviour, shared with the harness.
+#[derive(Debug)]
+pub struct ActuatorProbe {
+    effects: Mutex<Vec<(Time, CommandId, ActuationState)>>,
+    commands_received: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    state: Mutex<ActuationState>,
+}
+
+impl ActuatorProbe {
+    /// Creates a probe with the given initial state.
+    #[must_use]
+    pub fn new(initial: ActuationState) -> Arc<Self> {
+        Arc::new(Self {
+            effects: Mutex::new(Vec::new()),
+            commands_received: AtomicU64::new(0),
+            duplicates_suppressed: AtomicU64::new(0),
+            state: Mutex::new(initial),
+        })
+    }
+
+    /// Every physical effect applied, in order.
+    #[must_use]
+    pub fn effects(&self) -> Vec<(Time, CommandId, ActuationState)> {
+        self.effects.lock().expect("probe lock").clone()
+    }
+
+    /// Number of physical effects applied.
+    #[must_use]
+    pub fn effect_count(&self) -> usize {
+        self.effects.lock().expect("probe lock").len()
+    }
+
+    /// Total commands that reached the actuator.
+    #[must_use]
+    pub fn commands_received(&self) -> u64 {
+        self.commands_received.load(Ordering::SeqCst)
+    }
+
+    /// Commands refused by Test&Set mismatch or duplicate id.
+    #[must_use]
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed.load(Ordering::SeqCst)
+    }
+
+    /// The actuator's current state.
+    #[must_use]
+    pub fn state(&self) -> ActuationState {
+        *self.state.lock().expect("probe lock")
+    }
+}
+
+/// An emulated physical actuator.
+///
+/// Commands arrive as [`RadioFrame::Actuate`]; every command is
+/// acknowledged with [`RadioFrame::ActuateAck`] reporting whether it
+/// was applied and the resulting state. Exactly-once per command id is
+/// enforced (hardware debounces retransmissions), but *distinct*
+/// commands with the same effect are deliberately applied again — that
+/// duplication hazard is the subject of the paper's idempotence
+/// discussion.
+#[derive(Debug)]
+pub struct ActuatorDevice {
+    actuator: ActuatorId,
+    state: ActuationState,
+    probe: Arc<ActuatorProbe>,
+    applied_ids: Vec<CommandId>,
+}
+
+impl ActuatorDevice {
+    /// Creates an actuator in `initial` state.
+    #[must_use]
+    pub fn new(actuator: ActuatorId, initial: ActuationState, probe: Arc<ActuatorProbe>) -> Self {
+        Self { actuator, state: initial, probe, applied_ids: Vec::new() }
+    }
+
+    /// The actuator's platform identity.
+    #[must_use]
+    pub fn actuator_id(&self) -> ActuatorId {
+        self.actuator
+    }
+
+    fn states_equal(a: ActuationState, b: ActuationState) -> bool {
+        match (a, b) {
+            (ActuationState::Switch(x), ActuationState::Switch(y)) => x == y,
+            (ActuationState::Level(x), ActuationState::Level(y)) => {
+                (x - y).abs() < f64::EPSILON
+            }
+            (ActuationState::Pulse(x), ActuationState::Pulse(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+impl Actor for ActuatorDevice {
+    fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+        let ActorEvent::Message { from, payload } = event else {
+            return;
+        };
+        let Ok(RadioFrame::Actuate(cmd)) = RadioFrame::from_bytes(&payload) else {
+            return;
+        };
+        if cmd.actuator != self.actuator {
+            return;
+        }
+        self.probe.commands_received.fetch_add(1, Ordering::SeqCst);
+
+        let already_applied = self.applied_ids.contains(&cmd.id);
+        let applied = if already_applied {
+            self.probe.duplicates_suppressed.fetch_add(1, Ordering::SeqCst);
+            false
+        } else {
+            match cmd.kind {
+                CommandKind::Set(desired) => {
+                    self.state = desired;
+                    self.applied_ids.push(cmd.id);
+                    self.probe
+                        .effects
+                        .lock()
+                        .expect("probe lock")
+                        .push((ctx.now(), cmd.id, desired));
+                    *self.probe.state.lock().expect("probe lock") = desired;
+                    true
+                }
+                CommandKind::TestAndSet { expected, desired } => {
+                    if Self::states_equal(self.state, expected) {
+                        self.state = desired;
+                        self.applied_ids.push(cmd.id);
+                        self.probe
+                            .effects
+                            .lock()
+                            .expect("probe lock")
+                            .push((ctx.now(), cmd.id, desired));
+                        *self.probe.state.lock().expect("probe lock") = desired;
+                        true
+                    } else {
+                        self.probe.duplicates_suppressed.fetch_add(1, Ordering::SeqCst);
+                        false
+                    }
+                }
+                // Future command kinds: refuse rather than guess.
+                _ => false,
+            }
+        };
+        let ack = RadioFrame::ActuateAck { command: cmd.id, applied, state: self.state };
+        ctx.send(from, ack.to_payload());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_net::actor::{ActorId, Context};
+    use rivulet_net::link::ActorClass;
+    use rivulet_net::sim::{SimConfig, SimNet};
+    use rivulet_types::{Command, OperatorId, ProcessId};
+
+    /// Issues a scripted series of commands and records acks.
+    struct Issuer {
+        target: ActorId,
+        script: Vec<Command>,
+        acks: Arc<Mutex<Vec<(CommandId, bool, ActuationState)>>>,
+        idx: usize,
+    }
+
+    impl Actor for Issuer {
+        fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+            match event {
+                ActorEvent::Start => ctx.set_timer(rivulet_types::Duration::from_millis(10), 1),
+                ActorEvent::Timer { .. } => {
+                    if let Some(cmd) = self.script.get(self.idx) {
+                        self.idx += 1;
+                        ctx.send(self.target, RadioFrame::Actuate(cmd.clone()).to_payload());
+                        ctx.set_timer(rivulet_types::Duration::from_millis(10), 1);
+                    }
+                }
+                ActorEvent::Message { payload, .. } => {
+                    if let Ok(RadioFrame::ActuateAck { command, applied, state }) =
+                        RadioFrame::from_bytes(&payload)
+                    {
+                        self.acks.lock().expect("lock").push((command, applied, state));
+                    }
+                }
+            }
+        }
+    }
+
+    fn cmd(seq: u64, kind: CommandKind) -> Command {
+        Command::new(
+            CommandId::new(ProcessId(0), OperatorId(0), seq),
+            ActuatorId(1),
+            kind,
+            Time::ZERO,
+        )
+    }
+
+    fn run_script(script: Vec<Command>) -> (Arc<ActuatorProbe>, Vec<(CommandId, bool, ActuationState)>) {
+        let mut net = SimNet::new(SimConfig::with_seed(1));
+        let probe = ActuatorProbe::new(ActuationState::Switch(false));
+        let p = Arc::clone(&probe);
+        let dev = net.add_actor("light", ActorClass::Device, move || {
+            Box::new(ActuatorDevice::new(
+                ActuatorId(1),
+                ActuationState::Switch(false),
+                Arc::clone(&p),
+            ))
+        });
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let a = Arc::clone(&acks);
+        let s = script.clone();
+        net.add_actor("issuer", ActorClass::Process, move || {
+            Box::new(Issuer {
+                target: dev,
+                script: s.clone(),
+                acks: Arc::clone(&a),
+                idx: 0,
+            })
+        });
+        net.run_until(Time::from_secs(5));
+        let collected = acks.lock().unwrap().clone();
+        (probe, collected)
+    }
+
+    #[test]
+    fn set_commands_apply_and_ack() {
+        let (probe, acks) = run_script(vec![
+            cmd(0, CommandKind::Set(ActuationState::Switch(true))),
+            cmd(1, CommandKind::Set(ActuationState::Switch(false))),
+        ]);
+        assert_eq!(probe.effect_count(), 2);
+        assert_eq!(probe.state(), ActuationState::Switch(false));
+        assert_eq!(acks.len(), 2);
+        assert!(acks.iter().all(|(_, applied, _)| *applied));
+    }
+
+    #[test]
+    fn repeated_set_is_reapplied_distinct_ids() {
+        // Idempotent actuator: issuing "on" twice with distinct command
+        // ids re-applies harmlessly — both count as effects.
+        let (probe, _) = run_script(vec![
+            cmd(0, CommandKind::Set(ActuationState::Switch(true))),
+            cmd(1, CommandKind::Set(ActuationState::Switch(true))),
+        ]);
+        assert_eq!(probe.effect_count(), 2);
+        assert_eq!(probe.duplicates_suppressed(), 0);
+    }
+
+    #[test]
+    fn same_command_id_debounced() {
+        let c = cmd(0, CommandKind::Set(ActuationState::Switch(true)));
+        let (probe, acks) = run_script(vec![c.clone(), c]);
+        assert_eq!(probe.effect_count(), 1);
+        assert_eq!(probe.duplicates_suppressed(), 1);
+        assert!(acks[0].1);
+        assert!(!acks[1].1, "second identical command must be refused");
+    }
+
+    #[test]
+    fn test_and_set_suppresses_concurrent_duplicates() {
+        // Two logic nodes both try to dispense: pulse 0 -> 1. The
+        // second must fail the expectation check (§5).
+        let (probe, acks) = run_script(vec![
+            Command::new(
+                CommandId::new(ProcessId(1), OperatorId(0), 0),
+                ActuatorId(1),
+                CommandKind::TestAndSet {
+                    expected: ActuationState::Switch(false),
+                    desired: ActuationState::Switch(true),
+                },
+                Time::ZERO,
+            ),
+            Command::new(
+                CommandId::new(ProcessId(2), OperatorId(0), 0),
+                ActuatorId(1),
+                CommandKind::TestAndSet {
+                    expected: ActuationState::Switch(false),
+                    desired: ActuationState::Switch(true),
+                },
+                Time::ZERO,
+            ),
+        ]);
+        assert_eq!(probe.effect_count(), 1, "exactly one dispense");
+        assert_eq!(probe.duplicates_suppressed(), 1);
+        assert!(acks[0].1);
+        assert!(!acks[1].1);
+        assert_eq!(acks[1].2, ActuationState::Switch(true), "ack reports real state");
+    }
+
+    #[test]
+    fn wrong_actuator_ignored() {
+        let mut wrong = cmd(0, CommandKind::Set(ActuationState::Switch(true)));
+        wrong.actuator = ActuatorId(99);
+        let (probe, acks) = run_script(vec![wrong]);
+        assert_eq!(probe.commands_received(), 0);
+        assert_eq!(probe.effect_count(), 0);
+        assert!(acks.is_empty());
+    }
+
+    #[test]
+    fn level_and_pulse_states() {
+        let (probe, _) = run_script(vec![
+            cmd(0, CommandKind::Set(ActuationState::Level(19.5))),
+            cmd(
+                1,
+                CommandKind::TestAndSet {
+                    expected: ActuationState::Level(19.5),
+                    desired: ActuationState::Level(21.0),
+                },
+            ),
+            cmd(
+                2,
+                CommandKind::TestAndSet {
+                    expected: ActuationState::Level(19.5), // stale expectation
+                    desired: ActuationState::Level(25.0),
+                },
+            ),
+        ]);
+        assert_eq!(probe.state(), ActuationState::Level(21.0));
+        assert_eq!(probe.effect_count(), 2);
+        assert_eq!(probe.duplicates_suppressed(), 1);
+    }
+}

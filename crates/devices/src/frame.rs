@@ -1,0 +1,159 @@
+//! The frame vocabulary spoken between devices and Rivulet processes.
+//!
+//! Adapters on the process side (paper §7) translate these
+//! technology-level frames into platform events and back. Every frame
+//! crosses a radio link, so it is wire-encoded and its exact size is
+//! part of the experiment byte accounting.
+
+use bytes::Bytes;
+use rivulet_types::wire::{Wire, WireError, WireReader, WireWriter};
+use rivulet_types::{ActuationState, Command, CommandId, Event, SensorId};
+
+/// A frame on a device↔process radio link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RadioFrame {
+    /// A push-based sensor spontaneously reports an event, or a
+    /// poll-based sensor answers a poll.
+    Event(Event),
+    /// A process polls a sensor for a fresh reading. Carries the
+    /// requester's polling epoch so the response can be matched to it
+    /// (coordinated polling, §4.1).
+    PollRequest {
+        /// The polled sensor.
+        sensor: SensorId,
+        /// The requesting application's polling epoch.
+        epoch: u64,
+    },
+    /// A process instructs an actuator.
+    Actuate(Command),
+    /// An actuator acknowledges a command, reporting whether it was
+    /// applied (Test&Set may refuse) and the resulting state.
+    ActuateAck {
+        /// Identity of the acknowledged command.
+        command: CommandId,
+        /// Whether the command took effect.
+        applied: bool,
+        /// The actuator state after processing the command.
+        state: ActuationState,
+    },
+}
+
+impl RadioFrame {
+    /// Encodes the frame for transmission.
+    #[must_use]
+    pub fn to_payload(&self) -> Bytes {
+        self.to_bytes()
+    }
+}
+
+impl Wire for RadioFrame {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            RadioFrame::Event(e) => e.encoded_len(),
+            RadioFrame::PollRequest { sensor, epoch } => {
+                sensor.encoded_len() + epoch.encoded_len()
+            }
+            RadioFrame::Actuate(c) => c.encoded_len(),
+            RadioFrame::ActuateAck { command, applied, state } => {
+                command.encoded_len() + applied.encoded_len() + state.encoded_len()
+            }
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RadioFrame::Event(e) => {
+                w.put_u8(0);
+                e.encode(w);
+            }
+            RadioFrame::PollRequest { sensor, epoch } => {
+                w.put_u8(1);
+                sensor.encode(w);
+                epoch.encode(w);
+            }
+            RadioFrame::Actuate(c) => {
+                w.put_u8(2);
+                c.encode(w);
+            }
+            RadioFrame::ActuateAck { command, applied, state } => {
+                w.put_u8(3);
+                command.encode(w);
+                applied.encode(w);
+                state.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(RadioFrame::Event(Event::decode(r)?)),
+            1 => Ok(RadioFrame::PollRequest {
+                sensor: SensorId::decode(r)?,
+                epoch: u64::decode(r)?,
+            }),
+            2 => Ok(RadioFrame::Actuate(Command::decode(r)?)),
+            3 => Ok(RadioFrame::ActuateAck {
+                command: CommandId::decode(r)?,
+                applied: bool::decode(r)?,
+                state: ActuationState::decode(r)?,
+            }),
+            tag => Err(WireError::InvalidTag { ty: "RadioFrame", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::wire::roundtrip;
+    use rivulet_types::{
+        ActuatorId, CommandKind, EventId, EventKind, OperatorId, Payload, ProcessId, Time,
+    };
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(&RadioFrame::Event(Event::new(
+            EventId::new(SensorId(1), 4),
+            EventKind::Motion,
+            Time::from_millis(10),
+        )));
+        roundtrip(&RadioFrame::PollRequest { sensor: SensorId(2), epoch: 17 });
+        roundtrip(&RadioFrame::Actuate(Command::new(
+            CommandId::new(ProcessId(0), OperatorId(1), 3),
+            ActuatorId(5),
+            CommandKind::Set(ActuationState::Switch(true)),
+            Time::from_secs(1),
+        )));
+        roundtrip(&RadioFrame::ActuateAck {
+            command: CommandId::new(ProcessId(0), OperatorId(1), 3),
+            applied: false,
+            state: ActuationState::Level(20.0),
+        });
+    }
+
+    #[test]
+    fn event_frame_size_tracks_payload() {
+        let small = RadioFrame::Event(Event::new(
+            EventId::new(SensorId(1), 0),
+            EventKind::DoorOpen,
+            Time::ZERO,
+        ));
+        let large = RadioFrame::Event(Event::with_payload(
+            EventId::new(SensorId(1), 0),
+            EventKind::Image,
+            Payload::zeros(10_240),
+            Time::ZERO,
+        ));
+        assert!(small.encoded_len() < 32, "small frame is {}", small.encoded_len());
+        assert!(large.encoded_len() > 10_240);
+        assert_eq!(small.to_payload().len(), small.encoded_len());
+    }
+
+    #[test]
+    fn junk_tag_rejected() {
+        assert!(matches!(
+            RadioFrame::from_bytes(&[9]),
+            Err(WireError::InvalidTag { ty: "RadioFrame", tag: 9 })
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! Emulated smart-home devices for the Rivulet platform.
+//!
+//! The paper's testbed used real Z-Wave/Zigbee sensors plus an
+//! "IP-based software sensor" for controlled experiments (§8.1). This
+//! crate is the software equivalent of that device layer:
+//!
+//! * [`frame`] — the radio frame vocabulary spoken between devices and
+//!   Rivulet processes (events, poll requests/responses, actuation
+//!   commands and acks).
+//! * [`sensor`] — push-based sensors (door, motion, camera, …) that
+//!   emit spontaneously, and poll-based sensors (temperature,
+//!   luminance, …) that answer poll requests with the paper's
+//!   "one outstanding poll, silently drop the rest" semantics (§4.1,
+//!   Fig. 8).
+//! * [`actuator`] — idempotent and `Test&Set` actuators (§5), with
+//!   duplicate-actuation detection for experiments.
+//! * [`radio`] — low-power radio technology models (range, multicast)
+//!   and a 2-D home floor plan for computing which processes are in
+//!   range of which devices (§2.1).
+//! * [`catalog`] — the off-the-shelf sensor survey of Table 3 and the
+//!   Z-Wave polling characteristics used in Fig. 8.
+//! * [`value`] — synthetic physical-phenomenon models (random walks,
+//!   diurnal sines) so poll-based sensors report plausible readings.
+//!
+//! Devices are [`rivulet_net::actor::Actor`]s like everything else, so
+//! they run under both the simulator and the live driver, and can be
+//! crashed/recovered to emulate battery drain and plug disconnections
+//! (the sensor failures of §2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod actuator;
+pub mod catalog;
+pub mod frame;
+pub mod radio;
+pub mod sensor;
+pub mod value;
+
+pub use actuator::{ActuatorDevice, ActuatorProbe};
+pub use frame::RadioFrame;
+pub use radio::{FloorPlan, Position, RadioTech};
+pub use sensor::{
+    EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor,
+};
+pub use value::ValueModel;

@@ -1,0 +1,149 @@
+//! Synthetic physical-phenomenon models.
+//!
+//! Poll-based sensors need plausible values to report. These models
+//! replace the real physics of the paper's testbed home; the protocols
+//! under study never inspect values, so any stationary model preserves
+//! the experiments' behaviour (DESIGN.md, *Substitutions*).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rivulet_types::Time;
+
+/// A generator of sensor readings over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueModel {
+    /// Always the same value (useful in tests).
+    Constant(f64),
+    /// A bounded random walk: each sample moves by at most `step`
+    /// from the previous one and is clamped to `[min, max]`.
+    RandomWalk {
+        /// Current value (also the starting point).
+        value: f64,
+        /// Maximum per-sample movement.
+        step: f64,
+        /// Lower clamp.
+        min: f64,
+        /// Upper clamp.
+        max: f64,
+    },
+    /// A diurnal-style sine: `base + amplitude * sin(2π · t / period)`,
+    /// matching slow phenomena like outdoor temperature or luminance.
+    Sine {
+        /// Mean value.
+        base: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Period of one full cycle, in seconds.
+        period_secs: f64,
+    },
+}
+
+impl ValueModel {
+    /// A typical indoor-temperature model: random walk around 21 °C.
+    #[must_use]
+    pub fn indoor_temperature() -> Self {
+        ValueModel::RandomWalk { value: 21.0, step: 0.2, min: 15.0, max: 30.0 }
+    }
+
+    /// A typical relative-humidity model: random walk around 45 %.
+    #[must_use]
+    pub fn humidity() -> Self {
+        ValueModel::RandomWalk { value: 45.0, step: 1.0, min: 20.0, max: 80.0 }
+    }
+
+    /// A luminance model: 12-hour sine between dark and bright.
+    #[must_use]
+    pub fn luminance() -> Self {
+        ValueModel::Sine { base: 400.0, amplitude: 380.0, period_secs: 12.0 * 3600.0 }
+    }
+
+    /// A UV-index model: 24-hour sine, clamped non-negative by `sample`.
+    #[must_use]
+    pub fn uv_index() -> Self {
+        ValueModel::Sine { base: 2.0, amplitude: 3.0, period_secs: 24.0 * 3600.0 }
+    }
+
+    /// Draws the next reading at `now`.
+    pub fn sample(&mut self, now: Time, rng: &mut StdRng) -> f64 {
+        match self {
+            ValueModel::Constant(v) => *v,
+            ValueModel::RandomWalk { value, step, min, max } => {
+                let delta = rng.gen_range(-*step..=*step);
+                *value = (*value + delta).clamp(*min, *max);
+                *value
+            }
+            ValueModel::Sine { base, amplitude, period_secs } => {
+                let t = now.as_secs_f64();
+                let raw = *base
+                    + *amplitude * (2.0 * std::f64::consts::PI * t / *period_secs).sin();
+                raw.max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = ValueModel::Constant(7.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..10 {
+            assert_eq!(m.sample(Time::from_secs(i), &mut rng), 7.5);
+        }
+    }
+
+    #[test]
+    fn random_walk_stays_bounded_and_moves_slowly() {
+        let mut m = ValueModel::RandomWalk { value: 21.0, step: 0.5, min: 15.0, max: 30.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev = 21.0;
+        for i in 0..10_000 {
+            let v = m.sample(Time::from_secs(i), &mut rng);
+            assert!((15.0..=30.0).contains(&v), "escaped bounds: {v}");
+            assert!((v - prev).abs() <= 0.5 + 1e-9, "jumped too far");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sine_cycles_and_clamps_at_zero() {
+        let mut m = ValueModel::Sine { base: 0.5, amplitude: 2.0, period_secs: 100.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let peak = m.sample(Time::from_secs(25), &mut rng); // sin = 1
+        let trough = m.sample(Time::from_secs(75), &mut rng); // sin = -1
+        assert!((peak - 2.5).abs() < 1e-9);
+        assert_eq!(trough, 0.0, "negative values clamp to zero");
+    }
+
+    #[test]
+    fn presets_produce_plausible_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = ValueModel::indoor_temperature();
+        let v = t.sample(Time::ZERO, &mut rng);
+        assert!((15.0..=30.0).contains(&v));
+        let mut h = ValueModel::humidity();
+        assert!((20.0..=80.0).contains(&h.sample(Time::ZERO, &mut rng)));
+        let mut l = ValueModel::luminance();
+        assert!(l.sample(Time::from_secs(3 * 3600), &mut rng) > 400.0);
+        let mut u = ValueModel::uv_index();
+        assert!(u.sample(Time::from_secs(6 * 3600), &mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = ValueModel::indoor_temperature();
+        let mut b = ValueModel::indoor_temperature();
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for i in 0..100 {
+            assert_eq!(
+                a.sample(Time::from_secs(i), &mut ra),
+                b.sample(Time::from_secs(i), &mut rb)
+            );
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Threaded wall-clock driver.
+//!
+//! [`LiveNet`] runs each actor on its own OS thread, routing messages
+//! through crossbeam channels — the closest software analogue of the
+//! paper's deployment, where each Rivulet process is a JVM service on
+//! its own Raspberry Pi. The runnable examples use this driver to
+//! demonstrate the platform operating concurrently in real time.
+//!
+//! Fault injection (crash, recovery, link loss, partitions) uses the
+//! same vocabulary as the simulator, but is invoked imperatively from
+//! the controlling thread rather than scheduled in virtual time.
+//!
+//! Unlike [`crate::sim`], runs under this driver are **not**
+//! deterministic: thread scheduling and wall-clock timer jitter are
+//! real. All quantitative experiments therefore use the simulator; the
+//! live driver exists to show the same protocol code working outside
+//! simulation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rivulet_types::Time;
+
+use crate::actor::{Actor, ActorEvent, ActorId, Context, Effect};
+use crate::link::{ActorClass, DropReason};
+use crate::metrics::NetMetrics;
+
+/// Configuration of a live run.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct LiveConfig {
+    /// Base seed for per-actor RNGs (live runs are still not
+    /// deterministic; the seed only fixes the loss coin-flips given an
+    /// ordering).
+    pub seed: u64,
+}
+
+
+enum ThreadInput {
+    Event(ActorEvent),
+    Crash,
+    Recover,
+    Stop,
+}
+
+/// Directed-link state shared across actor threads.
+#[derive(Debug, Default, Clone, Copy)]
+struct LiveLink {
+    loss: f64,
+    blocked: bool,
+}
+
+#[derive(Debug, Default)]
+struct SharedTopology {
+    links: HashMap<(ActorId, ActorId), LiveLink>,
+    /// Partition group per actor; empty = no partition.
+    partition: HashMap<ActorId, u32>,
+}
+
+impl SharedTopology {
+    fn passable(&self, from: ActorId, to: ActorId, rng: &mut StdRng) -> Result<(), DropReason> {
+        if !self.partition.is_empty() {
+            // Actors absent from every group are unaffected (the
+            // partition severs the WiFi mesh, not device radios).
+            if let (Some(ga), Some(gb)) =
+                (self.partition.get(&from), self.partition.get(&to))
+            {
+                if ga != gb {
+                    return Err(DropReason::Blocked);
+                }
+            }
+        }
+        let link = self.links.get(&(from, to)).copied().unwrap_or_default();
+        if link.blocked {
+            return Err(DropReason::Blocked);
+        }
+        if link.loss > 0.0 && rng.gen_bool(link.loss.min(1.0)) {
+            return Err(DropReason::RandomLoss);
+        }
+        Ok(())
+    }
+}
+
+struct Router {
+    start: Instant,
+    inboxes: RwLock<Vec<Sender<ThreadInput>>>,
+    classes: RwLock<Vec<ActorClass>>,
+    topology: RwLock<SharedTopology>,
+    metrics: Mutex<NetMetrics>,
+}
+
+impl Router {
+    fn now(&self) -> Time {
+        Time::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    fn route(&self, rng: &mut StdRng, from: ActorId, to: ActorId, payload: Bytes) {
+        let (wifi, known) = {
+            let classes = self.classes.read();
+            match (classes.get(from.0 as usize), classes.get(to.0 as usize)) {
+                (Some(a), Some(b)) => {
+                    (*a == ActorClass::Process && *b == ActorClass::Process, true)
+                }
+                _ => (false, false),
+            }
+        };
+        if !known {
+            return;
+        }
+        self.metrics.lock().record_send(from, payload.len(), wifi);
+        let verdict = self.topology.read().passable(from, to, rng);
+        match verdict {
+            Ok(()) => {
+                let sender = self.inboxes.read()[to.0 as usize].clone();
+                // A full or disconnected inbox behaves like a crashed
+                // destination; the paper's fault model permits this.
+                if sender
+                    .send(ThreadInput::Event(ActorEvent::Message { from, payload }))
+                    .is_ok()
+                {
+                    self.metrics.lock().record_delivery();
+                } else {
+                    self.metrics.lock().record_drop(DropReason::DestinationDown);
+                }
+            }
+            Err(reason) => self.metrics.lock().record_drop(reason),
+        }
+    }
+}
+
+/// A handle to a running live network.
+///
+/// Dropping the handle stops all actor threads.
+pub struct LiveNet {
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<()>>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for LiveNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveNet")
+            .field("actors", &self.handles.len())
+            .finish()
+    }
+}
+
+impl LiveNet {
+    /// Creates an empty live network.
+    #[must_use]
+    pub fn new(config: LiveConfig) -> Self {
+        Self {
+            router: Arc::new(Router {
+                start: Instant::now(),
+                inboxes: RwLock::new(Vec::new()),
+                classes: RwLock::new(Vec::new()),
+                topology: RwLock::new(SharedTopology::default()),
+                metrics: Mutex::new(NetMetrics::new()),
+            }),
+            handles: Vec::new(),
+            seed: config.seed,
+        }
+    }
+
+    /// Spawns an actor on its own thread, returning its id. The actor
+    /// receives [`ActorEvent::Start`] immediately.
+    pub fn add_actor<F>(&mut self, name: &str, class: ActorClass, factory: F) -> ActorId
+    where
+        F: FnMut() -> Box<dyn Actor> + Send + 'static,
+    {
+        let id = {
+            let mut classes = self.router.classes.write();
+            let id = ActorId(classes.len() as u32);
+            classes.push(class);
+            id
+        };
+        let (tx, rx) = channel::unbounded();
+        self.router.inboxes.write().push(tx);
+        let router = Arc::clone(&self.router);
+        let seed = self.seed.wrapping_add(u64::from(id.0));
+        let thread_name = format!("rivulet-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || actor_thread(router, id, factory, rx, seed))
+            .expect("spawn actor thread");
+        self.handles.push(handle);
+        id
+    }
+
+    /// Wall-clock time since the network started.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.router.now()
+    }
+
+    /// A snapshot of the accumulated network counters.
+    #[must_use]
+    pub fn metrics(&self) -> NetMetrics {
+        self.router.metrics.lock().clone()
+    }
+
+    /// Sets the loss probability on the directed link `from → to`.
+    pub fn set_loss(&self, from: ActorId, to: ActorId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        let mut topo = self.router.topology.write();
+        topo.links.entry((from, to)).or_default().loss = loss;
+    }
+
+    /// Blocks or unblocks the directed link `from → to`.
+    pub fn set_blocked(&self, from: ActorId, to: ActorId, blocked: bool) {
+        let mut topo = self.router.topology.write();
+        topo.links.entry((from, to)).or_default().blocked = blocked;
+    }
+
+    /// Imposes a partition; actors absent from all groups form an
+    /// implicit extra group.
+    pub fn set_partition(&self, groups: &[Vec<ActorId>]) {
+        let mut topo = self.router.topology.write();
+        topo.partition.clear();
+        for (g, members) in groups.iter().enumerate() {
+            for m in members {
+                topo.partition.insert(*m, g as u32);
+            }
+        }
+    }
+
+    /// Heals any active partition.
+    pub fn heal_partition(&self) {
+        self.router.topology.write().partition.clear();
+    }
+
+    /// Crashes `actor`: its state is dropped and messages to it are
+    /// discarded until [`LiveNet::recover`].
+    pub fn crash(&self, actor: ActorId) {
+        let _ = self.router.inboxes.read()[actor.0 as usize].send(ThreadInput::Crash);
+    }
+
+    /// Recovers a crashed `actor`, rebuilding it from its factory.
+    pub fn recover(&self, actor: ActorId) {
+        let _ = self.router.inboxes.read()[actor.0 as usize].send(ThreadInput::Recover);
+    }
+
+    /// Injects a message into `to` as if sent by `from`; lets external
+    /// harness code participate in the protocol.
+    pub fn inject(&self, from: ActorId, to: ActorId, payload: Bytes) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.router.route(&mut rng, from, to, payload);
+    }
+
+    /// Stops all actor threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_all(&self) {
+        for tx in self.router.inboxes.read().iter() {
+            let _ = tx.send(ThreadInput::Stop);
+        }
+    }
+}
+
+impl Drop for LiveNet {
+    fn drop(&mut self) {
+        self.stop_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct PendingTimer {
+    deadline: Time,
+    token: u64,
+    gen: u64,
+}
+
+fn actor_thread<F>(
+    router: Arc<Router>,
+    id: ActorId,
+    mut factory: F,
+    rx: Receiver<ThreadInput>,
+    seed: u64,
+) where
+    F: FnMut() -> Box<dyn Actor> + Send + 'static,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance: Option<Box<dyn Actor>> = Some(factory());
+    let mut timers: Vec<PendingTimer> = Vec::new();
+    let mut timer_gens: HashMap<u64, u64> = HashMap::new();
+    let mut pending_start = true;
+
+    loop {
+        // Deliver Start after build/rebuild.
+        if pending_start {
+            pending_start = false;
+            if let Some(actor) = instance.as_mut() {
+                let halted = run_handler(
+                    &router,
+                    id,
+                    actor.as_mut(),
+                    ActorEvent::Start,
+                    &mut rng,
+                    &mut timers,
+                    &mut timer_gens,
+                );
+                if halted {
+                    instance = None;
+                }
+            }
+        }
+
+        // Fire due timers.
+        let now = router.now();
+        let mut fired = Vec::new();
+        timers.retain(|t| {
+            if t.deadline <= now && timer_gens.get(&t.token).copied().unwrap_or(0) == t.gen {
+                fired.push(t.token);
+                false
+            } else {
+                t.deadline > now // silently discard cancelled timers
+            }
+        });
+        for token in fired {
+            router.metrics.lock().record_timer();
+            if let Some(actor) = instance.as_mut() {
+                let halted = run_handler(
+                    &router,
+                    id,
+                    actor.as_mut(),
+                    ActorEvent::Timer { token },
+                    &mut rng,
+                    &mut timers,
+                    &mut timer_gens,
+                );
+                if halted {
+                    instance = None;
+                }
+            }
+        }
+
+        // Wait for the next input or timer deadline.
+        let next_deadline = timers
+            .iter()
+            .filter(|t| timer_gens.get(&t.token).copied().unwrap_or(0) == t.gen)
+            .map(|t| t.deadline)
+            .min();
+        let wait = match next_deadline {
+            Some(deadline) => deadline.duration_since(router.now()).to_std(),
+            None => std::time::Duration::from_millis(50),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(ThreadInput::Event(event)) => {
+                if let Some(actor) = instance.as_mut() {
+                    let halted = run_handler(
+                        &router,
+                        id,
+                        actor.as_mut(),
+                        event,
+                        &mut rng,
+                        &mut timers,
+                        &mut timer_gens,
+                    );
+                    if halted {
+                        instance = None;
+                    }
+                } else {
+                    router.metrics.lock().record_drop(DropReason::DestinationDown);
+                }
+            }
+            Ok(ThreadInput::Crash) => {
+                instance = None;
+                timers.clear();
+                timer_gens.clear();
+            }
+            Ok(ThreadInput::Recover) => {
+                if instance.is_none() {
+                    instance = Some(factory());
+                    pending_start = true;
+                }
+            }
+            Ok(ThreadInput::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+/// Runs one handler and applies its effects; returns `true` if the
+/// actor halted itself.
+fn run_handler(
+    router: &Arc<Router>,
+    id: ActorId,
+    actor: &mut dyn Actor,
+    event: ActorEvent,
+    rng: &mut StdRng,
+    timers: &mut Vec<PendingTimer>,
+    timer_gens: &mut HashMap<u64, u64>,
+) -> bool {
+    let mut ctx = Context::new(id, router.now(), rng);
+    actor.on_event(&mut ctx, event);
+    let effects = std::mem::take(&mut ctx.effects);
+    let mut halted = false;
+    for effect in effects {
+        match effect {
+            Effect::Send { to, payload } => router.route(rng, id, to, payload),
+            Effect::SetTimer { token, after } => {
+                let gen = timer_gens.get(&token).copied().unwrap_or(0);
+                timers.push(PendingTimer { deadline: router.now() + after, token, gen });
+            }
+            Effect::CancelTimer { token } => {
+                *timer_gens.entry(token).or_insert(0) += 1;
+            }
+            Effect::Halt => halted = true,
+        }
+    }
+    halted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::Duration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Echo;
+    impl Actor for Echo {
+        fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+            if let ActorEvent::Message { from, payload } = event {
+                ctx.send(from, payload);
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: ActorId,
+        replies: Arc<AtomicU64>,
+    }
+    impl Actor for Pinger {
+        fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+            match event {
+                ActorEvent::Start => {
+                    ctx.set_timer(Duration::from_millis(5), 1);
+                }
+                ActorEvent::Timer { .. } => {
+                    ctx.send(self.peer, Bytes::from_static(b"ping"));
+                    ctx.set_timer(Duration::from_millis(5), 1);
+                }
+                ActorEvent::Message { .. } => {
+                    self.replies.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    fn wait_until(deadline_ms: u64, mut done: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed().as_millis() < u128::from(deadline_ms) {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        done()
+    }
+
+    #[test]
+    fn ping_pong_over_threads() {
+        let mut net = LiveNet::new(LiveConfig::default());
+        let echo = net.add_actor("echo", ActorClass::Process, || Box::new(Echo));
+        let replies = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&replies);
+        net.add_actor("ping", ActorClass::Process, move || {
+            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+        });
+        assert!(
+            wait_until(2_000, || replies.load(Ordering::SeqCst) >= 3),
+            "expected at least 3 echo replies"
+        );
+        let m = net.metrics();
+        assert!(m.messages_sent >= 6);
+        net.shutdown();
+    }
+
+    #[test]
+    fn blocked_link_stops_traffic_and_unblock_restores() {
+        let mut net = LiveNet::new(LiveConfig::default());
+        let echo = net.add_actor("echo", ActorClass::Process, || Box::new(Echo));
+        let replies = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&replies);
+        let ping = net.add_actor("ping", ActorClass::Process, move || {
+            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+        });
+        net.set_blocked(ping, echo, true);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let before = replies.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert_eq!(replies.load(Ordering::SeqCst), before, "blocked link leaked");
+        net.set_blocked(ping, echo, false);
+        assert!(
+            wait_until(2_000, || replies.load(Ordering::SeqCst) > before),
+            "unblocking should restore traffic"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn crash_and_recover_round_trip() {
+        let mut net = LiveNet::new(LiveConfig::default());
+        let echo = net.add_actor("echo", ActorClass::Process, || Box::new(Echo));
+        let replies = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&replies);
+        net.add_actor("ping", ActorClass::Process, move || {
+            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+        });
+        assert!(wait_until(2_000, || replies.load(Ordering::SeqCst) >= 1));
+        net.crash(echo);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let during = replies.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Allow at most a couple of in-flight replies to straggle in.
+        assert!(replies.load(Ordering::SeqCst) <= during + 2, "crashed echo kept replying");
+        net.recover(echo);
+        let resumed = replies.load(Ordering::SeqCst);
+        assert!(
+            wait_until(2_000, || replies.load(Ordering::SeqCst) > resumed),
+            "recovered echo should reply again"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_blocks_cross_group() {
+        let mut net = LiveNet::new(LiveConfig::default());
+        let echo = net.add_actor("echo", ActorClass::Process, || Box::new(Echo));
+        let replies = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&replies);
+        let ping = net.add_actor("ping", ActorClass::Process, move || {
+            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+        });
+        net.set_partition(&[vec![ping], vec![echo]]);
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let before = replies.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(replies.load(Ordering::SeqCst) <= before + 1);
+        net.heal_partition();
+        assert!(
+            wait_until(2_000, || replies.load(Ordering::SeqCst) > before + 1),
+            "healing should restore traffic"
+        );
+        net.shutdown();
+    }
+}

@@ -1,0 +1,123 @@
+//! Network accounting used by the overhead experiments.
+//!
+//! The Fig. 5 experiment of the paper compares the *network overhead* —
+//! "the amount of data transferred over the home network for delivering
+//! an event" — of Gap, Gapless, and naive broadcast. [`NetMetrics`]
+//! charges every routed message (payload + frame header) to the sending
+//! actor and to the link class it crossed, so the harness can report
+//! exactly that quantity.
+
+use std::collections::HashMap;
+
+use rivulet_types::wire::FRAME_HEADER_BYTES;
+
+use crate::actor::ActorId;
+use crate::link::DropReason;
+
+/// Counters accumulated over one driver run.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    /// Messages handed to the network (whether or not delivered).
+    pub messages_sent: u64,
+    /// Messages actually delivered to their destination actor.
+    pub messages_delivered: u64,
+    /// Messages dropped, by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Bytes (payload + frame header) sent on inter-process links.
+    pub wifi_bytes: u64,
+    /// Bytes (payload + frame header) sent on device radio links.
+    pub radio_bytes: u64,
+    /// Bytes sent per actor (payload + frame header, either class).
+    pub bytes_by_sender: HashMap<ActorId, u64>,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message of `payload_len` bytes sent by `from` over a
+    /// link of the given class (`wifi == true` for inter-process).
+    pub fn record_send(&mut self, from: ActorId, payload_len: usize, wifi: bool) {
+        self.messages_sent += 1;
+        let total = (payload_len + FRAME_HEADER_BYTES) as u64;
+        if wifi {
+            self.wifi_bytes += total;
+        } else {
+            self.radio_bytes += total;
+        }
+        *self.bytes_by_sender.entry(from).or_insert(0) += total;
+    }
+
+    /// Records a successful delivery.
+    pub fn record_delivery(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    /// Records a dropped message.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Records a timer firing.
+    pub fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// Total bytes sent across both link classes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.wifi_bytes + self.radio_bytes
+    }
+
+    /// Total messages dropped across all reasons.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_charges_header_and_class() {
+        let mut m = NetMetrics::new();
+        m.record_send(ActorId(1), 100, true);
+        m.record_send(ActorId(1), 4, false);
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.wifi_bytes, (100 + FRAME_HEADER_BYTES) as u64);
+        assert_eq!(m.radio_bytes, (4 + FRAME_HEADER_BYTES) as u64);
+        assert_eq!(m.total_bytes(), m.wifi_bytes + m.radio_bytes);
+        assert_eq!(
+            m.bytes_by_sender[&ActorId(1)],
+            (104 + 2 * FRAME_HEADER_BYTES) as u64
+        );
+    }
+
+    #[test]
+    fn drops_tallied_by_reason() {
+        let mut m = NetMetrics::new();
+        m.record_drop(DropReason::RandomLoss);
+        m.record_drop(DropReason::RandomLoss);
+        m.record_drop(DropReason::Blocked);
+        assert_eq!(m.drops[&DropReason::RandomLoss], 2);
+        assert_eq!(m.drops[&DropReason::Blocked], 1);
+        assert_eq!(m.total_drops(), 3);
+    }
+
+    #[test]
+    fn delivery_and_timer_counters() {
+        let mut m = NetMetrics::new();
+        m.record_delivery();
+        m.record_timer();
+        m.record_timer();
+        assert_eq!(m.messages_delivered, 1);
+        assert_eq!(m.timers_fired, 2);
+    }
+}

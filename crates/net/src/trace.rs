@@ -1,0 +1,140 @@
+//! Optional event tracing for debugging and timeline experiments.
+//!
+//! The Fig. 7 experiment plots "number of events received by an active
+//! logic node" over time around an induced process crash. Rather than
+//! bake plotting into the protocols, drivers record a [`Trace`] of
+//! driver-level occurrences which the harness (or a debugging session)
+//! can query afterwards.
+
+use rivulet_types::Time;
+
+use crate::actor::ActorId;
+use crate::link::DropReason;
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message left `from` toward `to`.
+    Sent {
+        /// Sender.
+        from: ActorId,
+        /// Destination.
+        to: ActorId,
+        /// Payload length in bytes.
+        bytes: usize,
+    },
+    /// A message was delivered to `to`.
+    Delivered {
+        /// Sender.
+        from: ActorId,
+        /// Destination.
+        to: ActorId,
+    },
+    /// A message was dropped in flight.
+    Dropped {
+        /// Sender.
+        from: ActorId,
+        /// Destination.
+        to: ActorId,
+        /// Why.
+        reason: DropReason,
+    },
+    /// An actor crashed.
+    Crashed {
+        /// The actor.
+        actor: ActorId,
+    },
+    /// An actor recovered.
+    Recovered {
+        /// The actor.
+        actor: ActorId,
+    },
+}
+
+/// A time-stamped log of driver occurrences.
+///
+/// Disabled by default; enabling it costs one `Vec` push per network
+/// occurrence, which is acceptable for the 200-second home-scale runs
+/// of the evaluation.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<(Time, TraceEvent)>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at `now` (no-op while disabled).
+    pub fn record(&mut self, now: Time, event: TraceEvent) {
+        if self.enabled {
+            self.entries.push((now, event));
+        }
+    }
+
+    /// All recorded entries in chronological order of recording.
+    #[must_use]
+    pub fn entries(&self) -> &[(Time, TraceEvent)] {
+        &self.entries
+    }
+
+    /// Iterates over entries within `[from, to)`.
+    pub fn between(
+        &self,
+        from: Time,
+        to: Time,
+    ) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.entries.iter().filter(move |(t, _)| *t >= from && *t < to)
+    }
+
+    /// Discards all recorded entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        assert!(!tr.is_enabled());
+        tr.record(Time::ZERO, TraceEvent::Crashed { actor: ActorId(0) });
+        assert!(tr.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        tr.record(Time::from_secs(1), TraceEvent::Crashed { actor: ActorId(0) });
+        tr.record(Time::from_secs(2), TraceEvent::Recovered { actor: ActorId(0) });
+        tr.record(
+            Time::from_secs(3),
+            TraceEvent::Sent { from: ActorId(0), to: ActorId(1), bytes: 4 },
+        );
+        assert_eq!(tr.entries().len(), 3);
+        let window: Vec<_> = tr.between(Time::from_secs(2), Time::from_secs(3)).collect();
+        assert_eq!(window.len(), 1);
+        assert!(matches!(window[0].1, TraceEvent::Recovered { .. }));
+        tr.clear();
+        assert!(tr.entries().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Elder care: the Table 1 safety apps that motivated Gapless delivery.
+//!
+//! * **Fall alert** — a BLE wearable (heard by *one* host only, the
+//!   paper's single-reacher case) emits a fall event; the alert must
+//!   reach the caregiver even though the hosting process crashes
+//!   moments later. The Gapless ring has already replicated the event,
+//!   so the replacement logic node raises the alert.
+//! * **Slip&Fall-style inactivity** — bathroom motion stops for a whole
+//!   time window; caregivers are notified.
+//!
+//! ```text
+//! cargo run --example elder_care
+//! ```
+
+use rivulet::core::app::{
+    AlertOnEvent, AppBuilder, CombinerSpec, InactivityAlert, WindowSpec,
+};
+use rivulet::core::delivery::Delivery;
+use rivulet::core::deploy::HomeBuilder;
+use rivulet::devices::sensor::{EmissionSchedule, PayloadSpec};
+use rivulet::net::sim::{SimConfig, SimNet};
+use rivulet::types::{ActuationState, AppId, Duration, EventKind, Time};
+
+fn main() {
+    let mut net = SimNet::new(SimConfig::with_seed(404));
+    let mut home = HomeBuilder::new(&mut net);
+    let hub = home.add_host("hub");
+    let tv = home.add_host("tv");
+    let fridge = home.add_host("fridge");
+
+    // The BLE wearable pairs with a single host — the TV (BLE has no
+    // multicast; §3.1). One fall, 30 seconds in.
+    let (wearable, _) = home.add_push_sensor(
+        "wearable",
+        PayloadSpec::KindOnly(EventKind::FallDetected),
+        EmissionSchedule::Script(vec![Time::from_secs(30)]),
+        &[tv],
+    );
+    // Bathroom motion stops after t=50s.
+    let motion_script: Vec<Time> =
+        (1..=10).map(|i| Time::from_secs(i * 5)).collect();
+    let (motion, _) = home.add_push_sensor(
+        "bathroom-motion",
+        PayloadSpec::KindOnly(EventKind::Motion),
+        EmissionSchedule::Script(motion_script),
+        &[hub, fridge],
+    );
+    let (pager, _) = home.add_actuator(
+        "caregiver-pager",
+        ActuationState::Switch(false),
+        &[hub],
+    );
+
+    let fall_app = AppBuilder::new(AppId(1), "fall-alert")
+        .operator(
+            "FallAlert",
+            CombinerSpec::tolerate_fail_stop(1),
+            AlertOnEvent { message: "FALL DETECTED — paging caregiver".into(), siren: Some(pager) },
+        )
+        .sensor(wearable, Delivery::Gapless, WindowSpec::count(1))
+        .actuator(pager, Delivery::Gapless)
+        .done()
+        .build()
+        .expect("valid app");
+    let fall_probe = home.add_app(fall_app);
+
+    let inactivity_app = AppBuilder::new(AppId(2), "slip-and-fall")
+        .operator(
+            "Inactivity",
+            CombinerSpec::Any,
+            InactivityAlert { message: "no bathroom activity for 60s".into() },
+        )
+        .sensor(motion, Delivery::Gapless, WindowSpec::time(Duration::from_secs(60)))
+        .done()
+        .build()
+        .expect("valid app");
+    let inactivity_probe = home.add_app(inactivity_app);
+
+    let home = home.build();
+
+    // The cruel twist: the process that heard the fall (and currently
+    // hosts the fall app if placement chose it) crashes 300 ms after
+    // the event — before a human would have noticed anything.
+    net.crash_at(home.actor_of(tv), Time::from_millis(30_300));
+    net.run_until(Time::from_secs(180));
+
+    println!("fall alerts:");
+    for (t, by, msg) in fall_probe.alerts() {
+        println!("  {t} [{by}] {msg}");
+    }
+    println!("inactivity alerts:");
+    for (t, by, msg) in inactivity_probe.alerts() {
+        println!("  {t} [{by}] {msg}");
+    }
+
+    assert!(
+        !fall_probe.alerts().is_empty(),
+        "the fall must be reported despite the crash"
+    );
+    assert!(
+        !inactivity_probe.alerts().is_empty(),
+        "the inactivity window must fire"
+    );
+    println!("elder care OK");
+}

@@ -1,0 +1,23 @@
+//! Rivulet: a fault-tolerant platform for smart-home applications.
+//!
+//! This is the umbrella crate: it re-exports the public API of the
+//! Rivulet workspace so applications can depend on a single crate. See
+//! the [`rivulet_core`] documentation for the platform itself, and the
+//! repository `README.md`/`DESIGN.md` for the architecture.
+//!
+//! The workspace reproduces the system described in *Rivulet: A
+//! Fault-Tolerant Platform for Smart-Home Applications* (Middleware
+//! 2017): configurable **Gap**/**Gapless** event-delivery guarantees, a
+//! ring-based replication protocol with reliable-broadcast fallback,
+//! coordinated polling of battery-powered sensors, active/shadow logic
+//! node execution with bully-style failover, and a Flink-like dataflow
+//! programming model with windows, triggers, and fault-tolerance-aware
+//! combiners.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rivulet_core as core;
+pub use rivulet_devices as devices;
+pub use rivulet_net as net;
+pub use rivulet_types as types;

@@ -1,0 +1,172 @@
+//! Integration tests for the execution service (paper §5, §8.4):
+//! promotion, demotion, replay, and repeated failovers.
+
+use rivulet::core::app::{AppBuilder, CombinedWindows, CombinerSpec, OpCtx, WindowSpec};
+use rivulet::core::delivery::Delivery;
+use rivulet::core::deploy::{Home, HomeBuilder};
+use rivulet::core::probe::AppProbe;
+use rivulet::core::RivuletConfig;
+use rivulet::devices::sensor::{EmissionProbe, EmissionSchedule, PayloadSpec};
+use rivulet::net::sim::{SimConfig, SimNet};
+use rivulet::types::{ActuationState, AppId, Duration, EventKind, ProcessId, Time};
+use std::sync::Arc;
+
+struct Setup {
+    net: SimNet,
+    home: Home,
+    probe: Arc<AppProbe>,
+    emissions: Arc<EmissionProbe>,
+    pids: Vec<ProcessId>,
+}
+
+/// Five hosts, sensor heard everywhere at 10 ev/s, app anchored at
+/// host 0.
+fn standard_home(delivery: Delivery, seed: u64, timeout: Duration) -> Setup {
+    let mut net = SimNet::new(SimConfig::with_seed(seed));
+    let config = RivuletConfig::default().with_failure_timeout(timeout);
+    let mut home = HomeBuilder::new(&mut net).with_config(config);
+    let pids: Vec<ProcessId> =
+        (0..5).map(|i| home.add_host(format!("host{i}"))).collect();
+    let (sensor, emissions) = home.add_push_sensor(
+        "motion",
+        PayloadSpec::KindOnly(EventKind::Motion),
+        EmissionSchedule::Periodic(Duration::from_millis(100)),
+        &pids,
+    );
+    let (anchor, _) =
+        home.add_actuator("anchor", ActuationState::Switch(false), &[pids[0]]);
+    let app = AppBuilder::new(AppId(1), "activity")
+        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .sensor(sensor, delivery, WindowSpec::count(1))
+        .actuator(anchor, delivery)
+        .done()
+        .build()
+        .expect("valid app");
+    let probe = home.add_app(app);
+    let home = home.build();
+    Setup { net, home, probe, emissions, pids }
+}
+
+#[test]
+fn chain_order_failover_and_demotion_on_recovery() {
+    let mut s = standard_home(Delivery::Gapless, 1, Duration::from_secs(2));
+    let h0 = s.home.actor_of(s.pids[0]);
+    s.net.crash_at(h0, Time::from_secs(10));
+    s.net.recover_at(h0, Time::from_secs(25));
+    s.net.run_until(Time::from_secs(40));
+
+    let transitions = s.probe.transitions();
+    // p0 active at start; p1 promotes after the crash is detected; p0
+    // re-promotes after recovery; p1 demotes.
+    assert!(transitions
+        .iter()
+        .any(|(t, p, a)| *a && *p == s.pids[1] && *t > Time::from_secs(10)));
+    assert!(transitions
+        .iter()
+        .any(|(t, p, a)| !*a && *p == s.pids[1] && *t > Time::from_secs(25)));
+    assert!(transitions
+        .iter()
+        .any(|(t, p, a)| *a && *p == s.pids[0] && *t >= Time::from_secs(25)));
+}
+
+#[test]
+fn gapless_failover_loses_nothing() {
+    let mut s = standard_home(Delivery::Gapless, 2, Duration::from_secs(2));
+    let h0 = s.home.actor_of(s.pids[0]);
+    s.net.crash_at(h0, Time::from_secs(24));
+    s.net.run_until(Time::from_secs(50));
+    let lost = s.emissions.emitted() as i64 - s.probe.unique_delivered() as i64;
+    assert!(lost <= 1, "gapless lost {lost}");
+}
+
+#[test]
+fn gap_failover_gap_scales_with_detection_threshold() {
+    // Ablation from DESIGN.md: the Fig. 7 gap size is the failure
+    // detector's window. Halving the threshold should roughly halve
+    // the number of lost events.
+    let lost_at = |timeout: Duration| {
+        let mut s = standard_home(Delivery::Gap, 3, timeout);
+        let h0 = s.home.actor_of(s.pids[0]);
+        s.net.crash_at(h0, Time::from_secs(24));
+        s.net.run_until(Time::from_secs(50));
+        s.emissions.emitted() as i64 - s.probe.unique_delivered() as i64
+    };
+    let fast = lost_at(Duration::from_secs(1));
+    let slow = lost_at(Duration::from_secs(4));
+    assert!(
+        fast < slow,
+        "shorter detection must lose fewer events: {fast} vs {slow}"
+    );
+    assert!((5..=20).contains(&fast), "1s threshold ≈10 events, got {fast}");
+    assert!((30..=55).contains(&slow), "4s threshold ≈40 events, got {slow}");
+}
+
+#[test]
+fn repeated_crashes_walk_down_the_chain() {
+    let mut s = standard_home(Delivery::Gapless, 4, Duration::from_secs(2));
+    for (i, &offset) in [10u64, 20, 30].iter().enumerate() {
+        let actor = s.home.actor_of(s.pids[i]);
+        s.net.crash_at(actor, Time::from_secs(offset));
+    }
+    s.net.run_until(Time::from_secs(45));
+    let actives: Vec<ProcessId> = s
+        .probe
+        .transitions()
+        .iter()
+        .filter(|(_, _, a)| *a)
+        .map(|(_, p, _)| *p)
+        .collect();
+    assert_eq!(
+        actives,
+        vec![s.pids[0], s.pids[1], s.pids[2], s.pids[3]],
+        "leadership walks down the placement chain"
+    );
+    // p3 (the final primary) still processes events.
+    let last_delivery = s.probe.deliveries().last().copied().expect("deliveries");
+    assert_eq!(last_delivery.by, s.pids[3]);
+    assert!(last_delivery.at > Time::from_secs(40));
+}
+
+#[test]
+fn crashed_majority_does_not_stop_the_home() {
+    // Rivulet explicitly avoids majority assumptions: with 4 of 5
+    // processes dead, the survivor runs everything.
+    let mut s = standard_home(Delivery::Gapless, 5, Duration::from_secs(2));
+    for i in 0..4 {
+        let actor = s.home.actor_of(s.pids[i]);
+        s.net.crash_at(actor, Time::from_secs(5));
+    }
+    s.net.run_until(Time::from_secs(30));
+    let survivor_deliveries = s
+        .probe
+        .deliveries()
+        .iter()
+        .filter(|d| d.by == s.pids[4] && d.at > Time::from_secs(10))
+        .count();
+    assert!(
+        survivor_deliveries > 150,
+        "survivor kept processing: {survivor_deliveries}"
+    );
+}
+
+#[test]
+fn sensor_crash_is_survived_and_resumed() {
+    // Sensor failures (battery drain, unplugging) simply stop events;
+    // the platform keeps running and resumes when the sensor returns.
+    let mut s = standard_home(Delivery::Gapless, 6, Duration::from_secs(2));
+    let sensor_actor = s.home.sensors[0].1;
+    s.net.crash_at(sensor_actor, Time::from_secs(10));
+    s.net.recover_at(sensor_actor, Time::from_secs(20));
+    s.net.run_until(Time::from_secs(30));
+    let deliveries = s.probe.deliveries();
+    let during: usize = deliveries
+        .iter()
+        .filter(|d| d.at > Time::from_secs(11) && d.at < Time::from_secs(20))
+        .count();
+    let after: usize = deliveries
+        .iter()
+        .filter(|d| d.at > Time::from_secs(21))
+        .count();
+    assert_eq!(during, 0, "a dead sensor reports nothing");
+    assert!(after > 50, "events resume after sensor recovery: {after}");
+}

@@ -1,0 +1,129 @@
+//! Integration test of the full platform on the **live threaded
+//! driver**: the same protocol code that all simulation tests
+//! exercise, running on real OS threads and wall-clock time.
+
+use std::time::{Duration as StdDuration, Instant};
+
+use rivulet::core::app::{AppBuilder, CombinerSpec, SwitchOnEvents, WindowSpec};
+use rivulet::core::delivery::Delivery;
+use rivulet::core::deploy::HomeBuilder;
+use rivulet::core::RivuletConfig;
+use rivulet::devices::sensor::{EmissionSchedule, PayloadSpec};
+use rivulet::net::live::{LiveConfig, LiveNet};
+use rivulet::types::{ActuationState, AppId, Duration, EventKind};
+
+fn wait_until(limit: StdDuration, mut done: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < limit {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(StdDuration::from_millis(20));
+    }
+    done()
+}
+
+#[test]
+fn door_light_pipeline_runs_on_threads() {
+    let mut net = LiveNet::new(LiveConfig::default());
+    let mut home = HomeBuilder::new(&mut net);
+    let hub = home.add_host("hub");
+    let tv = home.add_host("tv");
+    let (door, _) = home.add_push_sensor(
+        "door",
+        PayloadSpec::KindOnly(EventKind::DoorOpen),
+        EmissionSchedule::Periodic(Duration::from_millis(150)),
+        &[tv],
+    );
+    let (light, light_probe) =
+        home.add_actuator("light", ActuationState::Switch(false), &[hub]);
+    let app = AppBuilder::new(AppId(1), "door-light")
+        .operator(
+            "TurnLightOnOff",
+            CombinerSpec::Any,
+            SwitchOnEvents {
+                on_kinds: vec![EventKind::DoorOpen],
+                off_kinds: vec![EventKind::DoorClose],
+                actuator: light,
+            },
+        )
+        .sensor(door, Delivery::Gapless, WindowSpec::count(1))
+        .actuator(light, Delivery::Gapless)
+        .done()
+        .build()
+        .expect("valid app");
+    let probe = home.add_app(app);
+    let _home = home.build();
+
+    assert!(
+        wait_until(StdDuration::from_secs(10), || probe.unique_delivered() >= 5),
+        "events must flow end to end on threads (got {})",
+        probe.unique_delivered()
+    );
+    assert!(
+        wait_until(StdDuration::from_secs(5), || light_probe.effect_count() >= 5),
+        "the light must actuate"
+    );
+    assert_eq!(light_probe.state(), ActuationState::Switch(true));
+    net.shutdown();
+}
+
+#[test]
+fn live_crash_recovery_failover() {
+    let mut net = LiveNet::new(LiveConfig::default());
+    // Short timeouts so the test completes quickly.
+    let config = RivuletConfig::default()
+        .with_keepalive_interval(Duration::from_millis(100))
+        .with_failure_timeout(Duration::from_millis(400));
+    let mut home = HomeBuilder::new(&mut net).with_config(config);
+    let h0 = home.add_host("h0");
+    let h1 = home.add_host("h1");
+    let (motion, _) = home.add_push_sensor(
+        "motion",
+        PayloadSpec::KindOnly(EventKind::Motion),
+        EmissionSchedule::Periodic(Duration::from_millis(100)),
+        &[h0, h1],
+    );
+    let (anchor, _) = home.add_actuator("a", ActuationState::Switch(false), &[h0]);
+    let app = AppBuilder::new(AppId(1), "watch")
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut rivulet::core::app::OpCtx, _: &rivulet::core::app::CombinedWindows| {},
+        )
+        .sensor(motion, Delivery::Gapless, WindowSpec::count(1))
+        .actuator(anchor, Delivery::Gapless)
+        .done()
+        .build()
+        .expect("valid app");
+    let probe = home.add_app(app);
+    let home = home.build();
+
+    // Wait for steady state, then crash the app host.
+    assert!(wait_until(StdDuration::from_secs(10), || {
+        probe.unique_delivered() >= 5
+    }));
+    net.crash(home.actor_of(h0));
+    // h1 must promote and keep processing.
+    assert!(
+        wait_until(StdDuration::from_secs(10), || {
+            probe.deliveries().iter().any(|d| d.by == h1)
+        }),
+        "h1 must take over processing"
+    );
+    // Recover h0: it should eventually reclaim the primary role.
+    net.recover(home.actor_of(h0));
+    assert!(
+        wait_until(StdDuration::from_secs(10), || {
+            probe
+                .transitions()
+                .iter()
+                .filter(|(_, p, active)| *p == h0 && *active)
+                .count()
+                >= 2
+        }),
+        "h0 must re-promote after recovery: {:?}",
+        probe.transitions()
+    );
+    net.shutdown();
+}
