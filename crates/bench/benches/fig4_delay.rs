@@ -25,15 +25,9 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_delay_scenario");
     for delivery in [Delivery::Gap, Delivery::Gapless] {
         for n in [2usize, 5] {
-            group.bench_with_input(
-                BenchmarkId::new(delivery.to_string(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        black_box(fig4::measure(delivery, 4, n, true, run_len))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(delivery.to_string(), n), &n, |b, &n| {
+                b.iter(|| black_box(fig4::measure(delivery, 4, n, true, run_len)))
+            });
         }
     }
     group.finish();

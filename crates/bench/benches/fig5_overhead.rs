@@ -26,9 +26,7 @@ fn bench_fig5(c: &mut Criterion) {
                 BenchmarkId::new(protocol.to_string(), receiving),
                 &receiving,
                 |b, &receiving| {
-                    b.iter(|| {
-                        black_box(fig5::delivery_bytes(protocol, receiving, 4, run_len))
-                    })
+                    b.iter(|| black_box(fig5::delivery_bytes(protocol, receiving, 4, run_len)))
                 },
             );
         }

@@ -26,9 +26,7 @@ fn bench_fig6(c: &mut Criterion) {
             BenchmarkId::new(delivery.to_string(), "50pct_2rx"),
             &delivery,
             |b, &delivery| {
-                b.iter(|| {
-                    black_box(fig6::delivered_fraction(delivery, 0.5, 2, run_len, 7))
-                })
+                b.iter(|| black_box(fig6::delivered_fraction(delivery, 0.5, 2, run_len, 7)))
             },
         );
     }

@@ -22,9 +22,11 @@ fn bench_fig8(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig8_polling_scenario");
     for mode in [Mode::Gap, Mode::Coordinated, Mode::Uncoordinated] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.to_string()), &mode, |b, &mode| {
-            b.iter(|| black_box(fig8::run(mode, run_len, 3)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.to_string()),
+            &mode,
+            |b, &mode| b.iter(|| black_box(fig8::run(mode, run_len, 3))),
+        );
     }
     group.finish();
 }

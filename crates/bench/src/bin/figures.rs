@@ -22,7 +22,11 @@ fn main() {
         .map(String::as_str)
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
-    let run_len = if full { Duration::from_secs(200) } else { Duration::from_secs(40) };
+    let run_len = if full {
+        Duration::from_secs(200)
+    } else {
+        Duration::from_secs(40)
+    };
 
     for target in which {
         match target {
@@ -35,8 +39,16 @@ fn main() {
             "fig4b" => print_fig4(false, run_len),
             "fig5" => print_fig5(run_len),
             "fig6" => print_fig6(run_len),
-            "fig7" => print_fig7(if full { Duration::from_secs(200) } else { Duration::from_secs(50) }),
-            "fig8" => print_fig8(if full { Duration::from_secs(200) } else { Duration::from_secs(120) }),
+            "fig7" => print_fig7(if full {
+                Duration::from_secs(200)
+            } else {
+                Duration::from_secs(50)
+            }),
+            "fig8" => print_fig8(if full {
+                Duration::from_secs(200)
+            } else {
+                Duration::from_secs(120)
+            }),
             "all" => {
                 print!("{}", tables::render_table1());
                 println!();
@@ -50,8 +62,16 @@ fn main() {
                 print_fig4(false, run_len);
                 print_fig5(run_len);
                 print_fig6(run_len);
-                print_fig7(if full { Duration::from_secs(200) } else { Duration::from_secs(50) });
-                print_fig8(if full { Duration::from_secs(200) } else { Duration::from_secs(120) });
+                print_fig7(if full {
+                    Duration::from_secs(200)
+                } else {
+                    Duration::from_secs(50)
+                });
+                print_fig8(if full {
+                    Duration::from_secs(200)
+                } else {
+                    Duration::from_secs(120)
+                });
             }
             other => eprintln!("unknown target: {other}"),
         }
@@ -90,7 +110,11 @@ fn print_fig4(farthest: bool, run_len: Duration) {
     println!(
         "Figure 4{}: mean delay (ms), receiver {}",
         if farthest { "a" } else { "b" },
-        if farthest { "farthest from app" } else { "at the app process" }
+        if farthest {
+            "farthest from app"
+        } else {
+            "at the app process"
+        }
     );
     println!(
         "{:>8} {:>6} {:>4} {:>10}",
@@ -161,8 +185,15 @@ fn print_fig7(run_len: Duration) {
 
 fn print_fig8(run_len: Duration) {
     println!("Figure 8: poll requests normalized against optimal (1/epoch)");
-    println!("{:>16} {:>16} {:>8} {:>8} {:>10}", "mode", "sensor", "polls", "optimal", "vs optimal");
-    for mode in [fig8::Mode::Gap, fig8::Mode::Coordinated, fig8::Mode::Uncoordinated] {
+    println!(
+        "{:>16} {:>16} {:>8} {:>8} {:>10}",
+        "mode", "sensor", "polls", "optimal", "vs optimal"
+    );
+    for mode in [
+        fig8::Mode::Gap,
+        fig8::Mode::Coordinated,
+        fig8::Mode::Uncoordinated,
+    ] {
         for p in fig8::run(mode, run_len, 3) {
             println!(
                 "{:>16} {:>16} {:>8} {:>8} {:>10.2}",

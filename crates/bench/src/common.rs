@@ -29,7 +29,10 @@ pub fn payload_of(bytes: usize) -> PayloadSpec {
     match bytes {
         0..=4 => PayloadSpec::KindOnly(EventKind::Motion),
         5..=8 => PayloadSpec::Scalar(rivulet_devices::value::ValueModel::Constant(21.0)),
-        _ => PayloadSpec::Blob { kind: EventKind::Image, len: bytes },
+        _ => PayloadSpec::Blob {
+            kind: EventKind::Image,
+            len: bytes,
+        },
     }
 }
 
@@ -144,8 +147,9 @@ pub fn run_delivery_with_probes(
         .with_failure_timeout(cfg.failure_timeout)
         .with_forwarding(cfg.forwarding);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
-    let pids: Vec<ProcessId> =
-        (0..cfg.n_processes).map(|i| home.add_host(format!("host{i}"))).collect();
+    let pids: Vec<ProcessId> = (0..cfg.n_processes)
+        .map(|i| home.add_host(format!("host{i}")))
+        .collect();
     let receivers: Vec<ProcessId> = cfg.receivers.iter().map(|r| pids[*r]).collect();
 
     let period = Duration::from_micros(1_000_000 / cfg.rate_per_sec.max(1));
@@ -183,7 +187,8 @@ pub fn run_delivery_with_probes(
     if cfg.loss > 0.0 {
         let sensor_actor = home.sensor_actor(sensor);
         for r in &receivers {
-            net.topology_mut().set_loss(sensor_actor, home.actor_of(*r), cfg.loss);
+            net.topology_mut()
+                .set_loss(sensor_actor, home.actor_of(*r), cfg.loss);
         }
     }
     if let Some(at) = cfg.crash_app_at {
@@ -217,8 +222,9 @@ pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
         .with_failure_timeout(quiet.failure_timeout)
         .with_forwarding(quiet.forwarding);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
-    let pids: Vec<ProcessId> =
-        (0..quiet.n_processes).map(|i| home.add_host(format!("host{i}"))).collect();
+    let pids: Vec<ProcessId> = (0..quiet.n_processes)
+        .map(|i| home.add_host(format!("host{i}")))
+        .collect();
     let receivers: Vec<ProcessId> = quiet.receivers.iter().map(|r| pids[*r]).collect();
     let (sensor, _) = home.add_push_sensor(
         "software-sensor",

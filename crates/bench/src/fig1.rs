@@ -69,15 +69,17 @@ impl SkewRow {
 #[must_use]
 pub fn run(days: f64, seed: u64) -> Vec<SkewRow> {
     let mut net = SimNet::new(SimConfig::with_seed(seed));
-    let counts: Arc<Mutex<HashMap<(SensorId, usize), u64>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let counts: Arc<Mutex<HashMap<(SensorId, usize), u64>>> = Arc::new(Mutex::new(HashMap::new()));
 
     // Three processes spread across the home.
     let mut process_actors: Vec<ActorId> = Vec::new();
     for index in 0..3 {
         let c = Arc::clone(&counts);
         let actor = net.add_actor(&format!("process{index}"), ActorClass::Process, move || {
-            Box::new(CountingProcess { counts: Arc::clone(&c), index })
+            Box::new(CountingProcess {
+                counts: Arc::clone(&c),
+                index,
+            })
         });
         process_actors.push(actor);
     }
@@ -94,12 +96,42 @@ pub fn run(days: f64, seed: u64) -> Vec<SkewRow> {
 
     // Sensors: four motion (Poisson, human-triggered) and two door.
     let sensor_defs: [(&str, EventKind, Duration, Position); 6] = [
-        ("Motion 1", EventKind::Motion, Duration::from_secs(60), Position::new(3.0, 4.0)),
-        ("Motion 2", EventKind::Motion, Duration::from_secs(90), Position::new(11.0, 2.0)),
-        ("Motion 3", EventKind::Motion, Duration::from_secs(120), Position::new(8.0, 10.0)),
-        ("Motion 4", EventKind::Motion, Duration::from_secs(45), Position::new(5.0, 8.0)),
-        ("Door 1", EventKind::DoorOpen, Duration::from_secs(300), Position::new(1.0, 9.0)),
-        ("Door 2", EventKind::DoorOpen, Duration::from_secs(400), Position::new(13.0, 8.0)),
+        (
+            "Motion 1",
+            EventKind::Motion,
+            Duration::from_secs(60),
+            Position::new(3.0, 4.0),
+        ),
+        (
+            "Motion 2",
+            EventKind::Motion,
+            Duration::from_secs(90),
+            Position::new(11.0, 2.0),
+        ),
+        (
+            "Motion 3",
+            EventKind::Motion,
+            Duration::from_secs(120),
+            Position::new(8.0, 10.0),
+        ),
+        (
+            "Motion 4",
+            EventKind::Motion,
+            Duration::from_secs(45),
+            Position::new(5.0, 8.0),
+        ),
+        (
+            "Door 1",
+            EventKind::DoorOpen,
+            Duration::from_secs(300),
+            Position::new(1.0, 9.0),
+        ),
+        (
+            "Door 2",
+            EventKind::DoorOpen,
+            Duration::from_secs(400),
+            Position::new(13.0, 8.0),
+        ),
     ];
 
     let mut rows: Vec<(String, Arc<EmissionProbe>, SensorId)> = Vec::new();
@@ -131,12 +163,16 @@ pub fn run(days: f64, seed: u64) -> Vec<SkewRow> {
         for (pi, pp) in proc_pos.iter().enumerate() {
             let base = plan.link_loss(place, *pp);
             let dist = sensor_defs[i].3.distance_to(
-                [Position::new(2.0, 2.0), Position::new(12.0, 3.0), Position::new(7.0, 12.0)]
-                    [pi],
+                [
+                    Position::new(2.0, 2.0),
+                    Position::new(12.0, 3.0),
+                    Position::new(7.0, 12.0),
+                ][pi],
             );
             let distance_loss = (dist / 40.0).min(0.6) * 0.3;
             let loss = 1.0 - (1.0 - base) * (1.0 - distance_loss);
-            net.topology_mut().set_loss(sensor_actor, process_actors[pi], loss);
+            net.topology_mut()
+                .set_loss(sensor_actor, process_actors[pi], loss);
         }
         rows.push(((*name).to_owned(), probe, sensor_id));
     }
@@ -152,7 +188,11 @@ pub fn run(days: f64, seed: u64) -> Vec<SkewRow> {
                 counts.get(&(id, 1)).copied().unwrap_or(0),
                 counts.get(&(id, 2)).copied().unwrap_or(0),
             ];
-            SkewRow { sensor: name, emitted: probe.emitted(), received }
+            SkewRow {
+                sensor: name,
+                emitted: probe.emitted(),
+                received,
+            }
         })
         .collect()
 }
@@ -168,7 +208,11 @@ mod tests {
         // Every sensor emitted and was heard somewhere.
         for row in &rows {
             assert!(row.emitted > 0, "{} emitted nothing", row.sensor);
-            assert!(row.received.iter().sum::<u64>() > 0, "{} unheard", row.sensor);
+            assert!(
+                row.received.iter().sum::<u64>() > 0,
+                "{} unheard",
+                row.sensor
+            );
         }
         // Door 1 (obstructed toward process 0) shows the largest
         // relative skew toward that process.

@@ -31,8 +31,7 @@ pub struct TraceOutcome {
 #[must_use]
 pub fn run(delivery: Delivery) -> TraceOutcome {
     let mut net = SimNet::new(SimConfig::with_seed(1));
-    let mut home =
-        HomeBuilder::new(&mut net).with_config(RivuletConfig::default());
+    let mut home = HomeBuilder::new(&mut net).with_config(RivuletConfig::default());
     let _p0 = home.add_host("hub");
     let p1 = home.add_host("tv");
     let p2 = home.add_host("fridge");

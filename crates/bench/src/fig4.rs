@@ -34,7 +34,11 @@ pub fn measure(
 ) -> Option<Duration> {
     let mut cfg = DeliveryScenario::paper_default(delivery);
     cfg.n_processes = n_processes;
-    cfg.receivers = if farthest { vec![1.min(n_processes - 1)] } else { vec![0] };
+    cfg.receivers = if farthest {
+        vec![1.min(n_processes - 1)]
+    } else {
+        vec![0]
+    };
     cfg.event_bytes = event_bytes;
     cfg.duration = duration;
     run_delivery(&cfg).mean_delay

@@ -10,9 +10,8 @@ use rivulet_types::{ActuatorId, ProcessId, SensorId};
 /// Renders Table 1 (applications and their delivery guarantees).
 #[must_use]
 pub fn render_table1() -> String {
-    let mut out = String::from(
-        "Table 1: desired delivery types for selected example applications\n",
-    );
+    let mut out =
+        String::from("Table 1: desired delivery types for selected example applications\n");
     out.push_str(&format!(
         "{:<26} {:<30} {:<12} {:>8}\n",
         "Application", "Sensor type", "Category", "Delivery"
@@ -32,8 +31,7 @@ pub fn render_table1() -> String {
 /// Renders Table 3 (sensor event-size classes).
 #[must_use]
 pub fn render_table3() -> String {
-    let mut out =
-        String::from("Table 3: classification of off-the-shelf sensors\n");
+    let mut out = String::from("Table 3: classification of off-the-shelf sensors\n");
     out.push_str(&format!(
         "{:<16} {:<6} {:<14} {:>12}\n",
         "Sensor", "Mode", "Size class", "Event bytes"
@@ -77,7 +75,10 @@ pub fn render_fig2() -> String {
     out.push_str(&format!(
         "placement chain: {:?} (position 0 hosts the active logic node)
 ",
-        chain.iter().map(|p| hosts[p.as_u32() as usize]).collect::<Vec<_>>()
+        chain
+            .iter()
+            .map(|p| hosts[p.as_u32() as usize])
+            .collect::<Vec<_>>()
     ));
     out.push_str(&format!(
         "{:<8} {:>14} {:>14} {:>14}
@@ -86,11 +87,25 @@ pub fn render_fig2() -> String {
     ));
     for (i, host) in hosts.iter().enumerate() {
         let pid = ProcessId(i as u32);
-        let ds = if reach[i].sensors.contains(&door) { "active" } else { "shadow" };
-        let tl = if pid == active_logic { "active" } else { "shadow" };
-        let la = if reach[i].actuators.contains(&light) { "active" } else { "shadow" };
-        out.push_str(&format!("{host:<8} {ds:>14} {tl:>14} {la:>14}
-"));
+        let ds = if reach[i].sensors.contains(&door) {
+            "active"
+        } else {
+            "shadow"
+        };
+        let tl = if pid == active_logic {
+            "active"
+        } else {
+            "shadow"
+        };
+        let la = if reach[i].actuators.contains(&light) {
+            "active"
+        } else {
+            "shadow"
+        };
+        out.push_str(&format!(
+            "{host:<8} {ds:>14} {tl:>14} {la:>14}
+"
+        ));
     }
     out
 }
@@ -116,7 +131,10 @@ mod tests {
         // The hub hosts the active logic and actuator nodes; its door
         // sensor node is a shadow (it cannot hear the sensor).
         let hub_line = f2.lines().find(|l| l.starts_with("hub")).unwrap();
-        assert!(hub_line.contains("shadow"), "hub DS is a shadow: {hub_line}");
+        assert!(
+            hub_line.contains("shadow"),
+            "hub DS is a shadow: {hub_line}"
+        );
         assert_eq!(hub_line.matches("active").count(), 2, "{hub_line}");
         let tv_line = f2.lines().find(|l| l.starts_with("tv")).unwrap();
         assert!(tv_line.starts_with("tv"));

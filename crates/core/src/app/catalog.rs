@@ -163,7 +163,10 @@ mod tests {
     fn delivery_split_matches_paper() {
         let rows = table1();
         let gap = rows.iter().filter(|r| r.delivery == Delivery::Gap).count();
-        let gapless = rows.iter().filter(|r| r.delivery == Delivery::Gapless).count();
+        let gapless = rows
+            .iter()
+            .filter(|r| r.delivery == Delivery::Gapless)
+            .count();
         assert_eq!(gap, 5);
         assert_eq!(gapless, 8);
     }

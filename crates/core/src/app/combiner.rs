@@ -45,14 +45,18 @@ impl CombinerSpec {
     /// intrusion-detection setting of Listing 1.
     #[must_use]
     pub fn tolerate_fail_stop(n: usize) -> Self {
-        CombinerSpec::FaultTolerant { tolerate: n.saturating_sub(1) }
+        CombinerSpec::FaultTolerant {
+            tolerate: n.saturating_sub(1),
+        }
     }
 
     /// `FTCombiner(⌊(n−1)/3⌋)`: tolerate arbitrary (Byzantine) sensor
     /// failures per Marzullo, the averaging setting of Listing 2.
     #[must_use]
     pub fn tolerate_arbitrary(n: usize) -> Self {
-        CombinerSpec::FaultTolerant { tolerate: n.saturating_sub(1) / 3 }
+        CombinerSpec::FaultTolerant {
+            tolerate: n.saturating_sub(1) / 3,
+        }
     }
 }
 
@@ -105,8 +109,10 @@ pub fn marzullo(intervals: &[(f64, f64)], f: usize) -> Option<(f64, f64)> {
 /// widened to `value ± precision`, tolerating `f` faulty sensors.
 #[must_use]
 pub fn marzullo_midpoint(values: &[f64], precision: f64, f: usize) -> Option<f64> {
-    let intervals: Vec<(f64, f64)> =
-        values.iter().map(|v| (v - precision, v + precision)).collect();
+    let intervals: Vec<(f64, f64)> = values
+        .iter()
+        .map(|v| (v - precision, v + precision))
+        .collect();
     marzullo(&intervals, f).map(|(l, u)| (l + u) / 2.0)
 }
 

@@ -35,7 +35,10 @@ impl PollSpec {
     /// One event required every `epoch`.
     #[must_use]
     pub fn every(epoch: Duration) -> Self {
-        Self { epoch, strategy: None }
+        Self {
+            epoch,
+            strategy: None,
+        }
     }
 
     /// Overrides the scheduling strategy (the Fig. 8 uncoordinated
@@ -178,13 +181,19 @@ impl AppSpec {
         for op in &self.operators {
             for (up, _) in &op.upstreams {
                 if !ids.contains(up) {
-                    return Err(AppError::UnknownUpstream { at: op.id, missing: *up });
+                    return Err(AppError::UnknownUpstream {
+                        at: op.id,
+                        missing: *up,
+                    });
                 }
             }
         }
         // Kahn's algorithm.
-        let mut indegree: HashMap<OperatorId, usize> =
-            self.operators.iter().map(|o| (o.id, o.upstreams.len())).collect();
+        let mut indegree: HashMap<OperatorId, usize> = self
+            .operators
+            .iter()
+            .map(|o| (o.id, o.upstreams.len()))
+            .collect();
         let mut downstream: HashMap<OperatorId, Vec<OperatorId>> = HashMap::new();
         for op in &self.operators {
             for (up, _) in &op.upstreams {
@@ -255,7 +264,11 @@ impl AppBuilder {
     #[must_use]
     pub fn new(id: AppId, name: impl Into<String>) -> Self {
         Self {
-            spec: AppSpec { id, name: name.into(), operators: Vec::new() },
+            spec: AppSpec {
+                id,
+                name: name.into(),
+                operators: Vec::new(),
+            },
             next_op: 0,
         }
     }
@@ -311,12 +324,7 @@ impl OperatorBuilder {
 
     /// `addSensor(sensor, GAP|GAPLESS, window, [pollingPolicy])`.
     #[must_use]
-    pub fn sensor(
-        mut self,
-        sensor: SensorId,
-        delivery: Delivery,
-        window: WindowSpec,
-    ) -> Self {
+    pub fn sensor(mut self, sensor: SensorId, delivery: Delivery, window: WindowSpec) -> Self {
         self.op.inputs.push(InputSpec {
             sensor,
             delivery,
@@ -405,12 +413,19 @@ mod tests {
         // Intrusion detection: n door sensors, FTCombiner(n-1),
         // Gapless count-1 windows, a siren.
         let n = 3;
-        let mut op = AppBuilder::new(AppId(1), "intrusion")
-            .operator("Intrusion", CombinerSpec::tolerate_fail_stop(n), noop());
+        let mut op = AppBuilder::new(AppId(1), "intrusion").operator(
+            "Intrusion",
+            CombinerSpec::tolerate_fail_stop(n),
+            noop(),
+        );
         for s in 0..n {
             op = op.sensor(SensorId(s as u32), Delivery::Gapless, WindowSpec::count(1));
         }
-        let app = op.actuator(ActuatorId(1), Delivery::Gapless).done().build().unwrap();
+        let app = op
+            .actuator(ActuatorId(1), Delivery::Gapless)
+            .done()
+            .build()
+            .unwrap();
         assert_eq!(app.sensors().len(), 3);
         assert_eq!(app.actuators(), vec![ActuatorId(1)]);
         assert_eq!(app.validate().unwrap(), vec![OperatorId(0)]);
@@ -462,7 +477,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            AppError::UnknownUpstream { at: OperatorId(0), missing: OperatorId(42) }
+            AppError::UnknownUpstream {
+                at: OperatorId(0),
+                missing: OperatorId(42)
+            }
         );
     }
 
@@ -506,17 +524,32 @@ mod tests {
             logic: Arc::clone(&logic),
             actuators: vec![],
         };
-        let app =
-            AppSpec { id: AppId(0), name: "dup".into(), operators: vec![mk(), mk()] };
-        assert_eq!(app.validate().unwrap_err(), AppError::DuplicateOperator(OperatorId(0)));
+        let app = AppSpec {
+            id: AppId(0),
+            name: "dup".into(),
+            operators: vec![mk(), mk()],
+        };
+        assert_eq!(
+            app.validate().unwrap_err(),
+            AppError::DuplicateOperator(OperatorId(0))
+        );
     }
 
     #[test]
     fn poll_spec_strategy_derivation() {
         let spec = PollSpec::every(Duration::from_secs(10));
-        assert_eq!(spec.effective_strategy(Delivery::Gapless), PollStrategy::Coordinated);
-        assert_eq!(spec.effective_strategy(Delivery::Gap), PollStrategy::GapSingle);
+        assert_eq!(
+            spec.effective_strategy(Delivery::Gapless),
+            PollStrategy::Coordinated
+        );
+        assert_eq!(
+            spec.effective_strategy(Delivery::Gap),
+            PollStrategy::GapSingle
+        );
         let forced = spec.with_strategy(PollStrategy::Uncoordinated);
-        assert_eq!(forced.effective_strategy(Delivery::Gapless), PollStrategy::Uncoordinated);
+        assert_eq!(
+            forced.effective_strategy(Delivery::Gapless),
+            PollStrategy::Uncoordinated
+        );
     }
 }

@@ -12,9 +12,8 @@ pub mod window;
 pub use combiner::{marzullo, marzullo_midpoint, CombinerSpec};
 pub use graph::{AppBuilder, AppError, AppSpec, InputSpec, OperatorSpec, PollSpec};
 pub use operator::{
-    AlertOnEvent, CombinedWindows, InactivityAlert, InputWindow, LogicHandle,
-    MarzulloAverage, OpCtx, OpOutput, OperatorLogic, StreamKey, SwitchOnEvents,
-    ThresholdHvac,
+    AlertOnEvent, CombinedWindows, InactivityAlert, InputWindow, LogicHandle, MarzulloAverage,
+    OpCtx, OpOutput, OperatorLogic, StreamKey, SwitchOnEvents, ThresholdHvac,
 };
 pub use runtime::{AppRuntime, RuntimeOutput};
 pub use window::{EvictorPolicy, TriggerPolicy, Window, WindowBound, WindowSpec};

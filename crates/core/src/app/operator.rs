@@ -68,7 +68,9 @@ impl CombinedWindows {
     /// payloads).
     #[must_use]
     pub fn scalars(&self) -> Vec<f64> {
-        self.all_events().filter_map(|e| e.payload.as_scalar()).collect()
+        self.all_events()
+            .filter_map(|e| e.payload.as_scalar())
+            .collect()
     }
 
     /// Number of streams that contributed at least one event.
@@ -111,7 +113,10 @@ impl OpCtx {
     /// Creates a context at `now`.
     #[must_use]
     pub fn new(now: Time) -> Self {
-        Self { now, outputs: Vec::new() }
+        Self {
+            now,
+            outputs: Vec::new(),
+        }
     }
 
     /// Current time.
@@ -156,7 +161,9 @@ impl OpCtx {
 
     /// Raises a user-facing alert.
     pub fn alert(&mut self, message: impl Into<String>) {
-        self.outputs.push(OpOutput::Alert { message: message.into() });
+        self.outputs.push(OpOutput::Alert {
+            message: message.into(),
+        });
     }
 
     /// Consumes the context, yielding the requested outputs.
@@ -327,7 +334,10 @@ mod tests {
 
     fn windows_of(events: Vec<Event>) -> CombinedWindows {
         CombinedWindows {
-            inputs: vec![InputWindow { source: StreamKey::Sensor(SensorId(1)), events }],
+            inputs: vec![InputWindow {
+                source: StreamKey::Sensor(SensorId(1)),
+                events,
+            }],
         }
     }
 
@@ -339,7 +349,10 @@ mod tests {
                     source: StreamKey::Sensor(SensorId(1)),
                     events: vec![ev(EventKind::Reading, Some(1.5), 0)],
                 },
-                InputWindow { source: StreamKey::Operator(OperatorId(9)), events: vec![] },
+                InputWindow {
+                    source: StreamKey::Operator(OperatorId(9)),
+                    events: vec![],
+                },
             ],
         };
         assert_eq!(cw.events_of(StreamKey::Sensor(SensorId(1))).len(), 1);
@@ -391,23 +404,39 @@ mod tests {
             siren: Some(ActuatorId(2)),
         };
         let mut ctx = OpCtx::new(Time::ZERO);
-        logic.on_windows(&mut ctx, &windows_of(vec![ev(EventKind::DoorOpen, None, 0)]));
+        logic.on_windows(
+            &mut ctx,
+            &windows_of(vec![ev(EventKind::DoorOpen, None, 0)]),
+        );
         let out = ctx.into_outputs();
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], OpOutput::Alert { message } if message.contains("intrusion")));
-        assert!(matches!(out[1], OpOutput::Actuate { actuator: ActuatorId(2), .. }));
+        assert!(matches!(
+            out[1],
+            OpOutput::Actuate {
+                actuator: ActuatorId(2),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn marzullo_average_emits_midpoint_and_alerts_on_disagreement() {
-        let logic = MarzulloAverage { precision: 0.5, tolerate: 1 };
+        let logic = MarzulloAverage {
+            precision: 0.5,
+            tolerate: 1,
+        };
         let agree = CombinedWindows {
             inputs: (0..4)
                 .map(|i| InputWindow {
                     source: StreamKey::Sensor(SensorId(i)),
                     events: vec![ev(
                         EventKind::Reading,
-                        Some(if i == 3 { 90.0 } else { 21.0 + f64::from(i) * 0.1 }),
+                        Some(if i == 3 {
+                            90.0
+                        } else {
+                            21.0 + f64::from(i) * 0.1
+                        }),
                         0,
                     )],
                 })
@@ -417,8 +446,13 @@ mod tests {
         logic.on_windows(&mut ctx, &agree);
         let out = ctx.into_outputs();
         assert_eq!(out.len(), 1);
-        let OpOutput::Emit { value } = out[0] else { panic!("expected emit") };
-        assert!((20.0..=22.0).contains(&value), "byzantine 90.0 masked, got {value}");
+        let OpOutput::Emit { value } = out[0] else {
+            panic!("expected emit")
+        };
+        assert!(
+            (20.0..=22.0).contains(&value),
+            "byzantine 90.0 masked, got {value}"
+        );
 
         // All four disagree wildly with f=1: no quorum.
         let disagree = CombinedWindows {
@@ -436,10 +470,12 @@ mod tests {
 
     #[test]
     fn hvac_threshold_logic() {
-        let logic = ThresholdHvac { low: 18.0, high: 26.0, hvac: ActuatorId(1) };
-        for (reading, expect_level) in
-            [(15.0, Some(18.0)), (30.0, Some(26.0)), (22.0, None)]
-        {
+        let logic = ThresholdHvac {
+            low: 18.0,
+            high: 26.0,
+            hvac: ActuatorId(1),
+        };
+        for (reading, expect_level) in [(15.0, Some(18.0)), (30.0, Some(26.0)), (22.0, None)] {
             let mut ctx = OpCtx::new(Time::ZERO);
             logic.on_windows(
                 &mut ctx,
@@ -463,7 +499,9 @@ mod tests {
 
     #[test]
     fn inactivity_alert_fires_only_on_silence() {
-        let logic = InactivityAlert { message: "no activity".to_owned() };
+        let logic = InactivityAlert {
+            message: "no activity".to_owned(),
+        };
         let mut ctx = OpCtx::new(Time::ZERO);
         logic.on_windows(&mut ctx, &windows_of(vec![ev(EventKind::Motion, None, 0)]));
         assert!(ctx.into_outputs().is_empty());
@@ -493,7 +531,10 @@ mod tests {
         );
         assert!(matches!(
             ctx.into_outputs()[0],
-            OpOutput::Actuate { kind: CommandKind::TestAndSet { .. }, .. }
+            OpOutput::Actuate {
+                kind: CommandKind::TestAndSet { .. },
+                ..
+            }
         ));
     }
 

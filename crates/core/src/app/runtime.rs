@@ -65,7 +65,10 @@ impl AppRuntime {
                 );
             }
             for (up, wspec) in &op.upstreams {
-                windows.insert((op.id, StreamKey::Operator(*up)), Window::new(wspec.clone()));
+                windows.insert(
+                    (op.id, StreamKey::Operator(*up)),
+                    Window::new(wspec.clone()),
+                );
             }
         }
         Ok(Self {
@@ -111,7 +114,8 @@ impl AppRuntime {
     /// Whether any operator consumes `sensor`.
     #[must_use]
     pub fn subscribes_to(&self, sensor: SensorId) -> bool {
-        self.windows.contains_key(&(OperatorId(0), StreamKey::Sensor(sensor)))
+        self.windows
+            .contains_key(&(OperatorId(0), StreamKey::Sensor(sensor)))
             || self
                 .windows
                 .keys()
@@ -176,11 +180,10 @@ impl AppRuntime {
             if op.inputs.iter().any(|i| i.sensor == sensor) {
                 let mut ctx = OpCtx::new(now);
                 op.logic.on_epoch_miss(&mut ctx, sensor);
-                outputs.extend(
-                    ctx.into_outputs()
-                        .into_iter()
-                        .map(|output| RuntimeOutput { operator: op.id, output }),
-                );
+                outputs.extend(ctx.into_outputs().into_iter().map(|output| RuntimeOutput {
+                    operator: op.id,
+                    output,
+                }));
             }
         }
         outputs
@@ -202,14 +205,26 @@ impl AppRuntime {
             .clone();
         // Gather per-stream contributions.
         let mut inputs = Vec::new();
-        let mut stream_keys: Vec<StreamKey> =
-            op.inputs.iter().map(|i| StreamKey::Sensor(i.sensor)).collect();
+        let mut stream_keys: Vec<StreamKey> = op
+            .inputs
+            .iter()
+            .map(|i| StreamKey::Sensor(i.sensor))
+            .collect();
         stream_keys.extend(op.upstreams.iter().map(|(u, _)| StreamKey::Operator(*u)));
         for key in stream_keys {
-            let window = self.windows.get_mut(&(operator, key)).expect("window exists");
-            let events =
-                if key == triggering { window.snapshot(now) } else { window.peek(now) };
-            inputs.push(InputWindow { source: key, events });
+            let window = self
+                .windows
+                .get_mut(&(operator, key))
+                .expect("window exists");
+            let events = if key == triggering {
+                window.snapshot(now)
+            } else {
+                window.peek(now)
+            };
+            inputs.push(InputWindow {
+                source: key,
+                events,
+            });
         }
         let combined = CombinedWindows { inputs };
         let total = combined.inputs.len();
@@ -233,7 +248,10 @@ impl AppRuntime {
                     });
                     self.route_emission(now, operator, value, outputs);
                 }
-                other => outputs.push(RuntimeOutput { operator, output: other }),
+                other => outputs.push(RuntimeOutput {
+                    operator,
+                    output: other,
+                }),
             }
         }
     }
@@ -280,9 +298,7 @@ mod tests {
     use super::*;
     use crate::app::combiner::CombinerSpec;
     use crate::app::graph::AppBuilder;
-    use crate::app::operator::{
-        AlertOnEvent, MarzulloAverage, SwitchOnEvents, ThresholdHvac,
-    };
+    use crate::app::operator::{AlertOnEvent, MarzulloAverage, SwitchOnEvents, ThresholdHvac};
     use crate::app::window::WindowSpec;
     use crate::delivery::Delivery;
     use rivulet_types::{ActuatorId, AppId, CommandKind};
@@ -339,14 +355,13 @@ mod tests {
         let mut opb = builder.operator(
             "Averaging",
             CombinerSpec::tolerate_arbitrary(4),
-            MarzulloAverage { precision: 0.5, tolerate: 1 },
+            MarzulloAverage {
+                precision: 0.5,
+                tolerate: 1,
+            },
         );
         for s in 0..4u32 {
-            opb = opb.sensor(
-                SensorId(s),
-                Delivery::Gap,
-                WindowSpec::count(1).sliding(),
-            );
+            opb = opb.sensor(SensorId(s), Delivery::Gap, WindowSpec::count(1).sliding());
         }
         let app = opb.done();
         let avg = OperatorId(0);
@@ -354,7 +369,11 @@ mod tests {
             .operator(
                 "Hvac",
                 CombinerSpec::Any,
-                ThresholdHvac { low: 18.0, high: 26.0, hvac: ActuatorId(9) },
+                ThresholdHvac {
+                    low: 18.0,
+                    high: 26.0,
+                    hvac: ActuatorId(9),
+                },
             )
             .upstream(avg, WindowSpec::count(1))
             .actuator(ActuatorId(9), Delivery::Gap)
@@ -397,7 +416,10 @@ mod tests {
             .operator(
                 "needs-both",
                 CombinerSpec::FaultTolerant { tolerate: 0 },
-                AlertOnEvent { message: "pair".into(), siren: None },
+                AlertOnEvent {
+                    message: "pair".into(),
+                    siren: None,
+                },
             )
             .sensor(SensorId(1), Delivery::Gap, WindowSpec::count(1).sliding())
             .sensor(SensorId(2), Delivery::Gap, WindowSpec::count(1).sliding())
@@ -419,7 +441,9 @@ mod tests {
             .operator(
                 "watch",
                 CombinerSpec::Any,
-                InactivityAlert { message: "no activity today".into() },
+                InactivityAlert {
+                    message: "no activity today".into(),
+                },
             )
             .sensor(
                 SensorId(1),
@@ -436,7 +460,9 @@ mod tests {
         assert_eq!(period, Duration::from_secs(60));
         // Window elapses empty → silence alert.
         let out = rt.on_time_trigger(Time::from_secs(60), op, stream);
-        assert!(matches!(&out[0].output, OpOutput::Alert { message } if message.contains("no activity")));
+        assert!(
+            matches!(&out[0].output, OpOutput::Alert { message } if message.contains("no activity"))
+        );
         // With recent activity (emitted within the 60 s span), no alert.
         let _ = rt.on_event(Time::from_secs(70), &ev(1, 70_000, EventKind::Motion, None));
         let out = rt.on_time_trigger(Time::from_secs(120), op, stream);
@@ -461,7 +487,10 @@ mod tests {
         let mut rt = AppRuntime::new(Arc::new(app)).unwrap();
         let out = rt.on_epoch_miss(Time::ZERO, SensorId(7));
         assert_eq!(out.len(), 1);
-        assert!(rt.on_epoch_miss(Time::ZERO, SensorId(8)).is_empty(), "not subscribed");
+        assert!(
+            rt.on_epoch_miss(Time::ZERO, SensorId(8)).is_empty(),
+            "not subscribed"
+        );
     }
 
     #[test]
@@ -470,7 +499,10 @@ mod tests {
             .operator(
                 "op",
                 CombinerSpec::Any,
-                AlertOnEvent { message: "x".into(), siren: None },
+                AlertOnEvent {
+                    message: "x".into(),
+                    siren: None,
+                },
             )
             .sensor(SensorId(1), Delivery::Gap, WindowSpec::count(1))
             .staleness_bound(Duration::from_secs(5))
@@ -492,7 +524,14 @@ mod tests {
     #[test]
     fn subscribes_to_reports_wiring() {
         let app = AppBuilder::new(AppId(6), "subs")
-            .operator("op", CombinerSpec::Any, AlertOnEvent { message: "x".into(), siren: None })
+            .operator(
+                "op",
+                CombinerSpec::Any,
+                AlertOnEvent {
+                    message: "x".into(),
+                    siren: None,
+                },
+            )
             .sensor(SensorId(3), Delivery::Gap, WindowSpec::count(1))
             .done()
             .build()

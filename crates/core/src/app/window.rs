@@ -117,7 +117,11 @@ impl Window {
     /// Creates an empty window.
     #[must_use]
     pub fn new(spec: WindowSpec) -> Self {
-        Self { spec, buf: VecDeque::new(), since_trigger: 0 }
+        Self {
+            spec,
+            buf: VecDeque::new(),
+            since_trigger: 0,
+        }
     }
 
     /// The specification this window follows.
@@ -270,7 +274,10 @@ mod tests {
         let mut w = Window::new(spec);
         assert_eq!(w.timer_period(), Some(Duration::from_secs(60)));
         let now = Time::from_secs(30);
-        assert!(!w.push(ev(0, 1_000), now), "time windows never count-trigger");
+        assert!(
+            !w.push(ev(0, 1_000), now),
+            "time windows never count-trigger"
+        );
         assert!(!w.push(ev(1, 20_000), now));
         let snap = w.snapshot(Time::from_secs(60));
         assert_eq!(snap.len(), 2);
@@ -289,9 +296,7 @@ mod tests {
 
     #[test]
     fn count_bound_drops_oldest() {
-        let mut w = Window::new(
-            WindowSpec::count(5).with_trigger(TriggerPolicy::OnCount(100)),
-        );
+        let mut w = Window::new(WindowSpec::count(5).with_trigger(TriggerPolicy::OnCount(100)));
         for seq in 0..8 {
             let _ = w.push(ev(seq, 0), Time::ZERO);
         }

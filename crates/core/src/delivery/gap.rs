@@ -125,7 +125,10 @@ mod tests {
         let reachers = pids(&[1, 2]);
         // TV (p1) crashed: fridge becomes closest live reacher.
         let alive = |p: ProcessId| p != ProcessId(1);
-        assert_eq!(forwarder(&chain, &reachers, alive, ProcessId(0)), Some(ProcessId(2)));
+        assert_eq!(
+            forwarder(&chain, &reachers, alive, ProcessId(0)),
+            Some(ProcessId(2))
+        );
         assert_eq!(
             role_of(ProcessId(2), &chain, &reachers, alive, ProcessId(0)),
             GapRole::ForwardTo(ProcessId(0))
@@ -159,7 +162,10 @@ mod tests {
     #[test]
     fn unknown_logic_process_yields_none() {
         let chain = pids(&[0, 1]);
-        assert_eq!(forwarder(&chain, &pids(&[0]), ALL_ALIVE, ProcessId(9)), None);
+        assert_eq!(
+            forwarder(&chain, &pids(&[0]), ALL_ALIVE, ProcessId(9)),
+            None
+        );
     }
 
     #[test]

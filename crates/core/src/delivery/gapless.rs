@@ -92,7 +92,9 @@ impl GaplessState {
             // Already known (e.g. the ring beat the radio): nothing to do.
             return out;
         }
-        out.actions.push(Action::Deliver { event: event.clone() });
+        out.actions.push(Action::Deliver {
+            event: event.clone(),
+        });
         if let Some(succ) = successor {
             out.actions.push(Action::Send {
                 to: succ,
@@ -119,7 +121,9 @@ impl GaplessState {
         if self.store.insert(event.clone()) {
             // First sighting: deliver locally and keep the ring moving,
             // extending S with ourselves and V with our own view.
-            out.actions.push(Action::Deliver { event: event.clone() });
+            out.actions.push(Action::Deliver {
+                event: event.clone(),
+            });
             if let Some(succ) = successor {
                 let mut new_seen = seen;
                 if !new_seen.contains(&self.me) {
@@ -135,7 +139,11 @@ impl GaplessState {
                 new_need.sort_unstable();
                 out.actions.push(Action::Send {
                     to: succ,
-                    msg: ProcMsg::Ring { event, seen: new_seen, need: new_need },
+                    msg: ProcMsg::Ring {
+                        event,
+                        seen: new_seen,
+                        need: new_need,
+                    },
                 });
             }
             return out;
@@ -175,7 +183,10 @@ impl GaplessState {
         if !self.anti_entropy {
             return None;
         }
-        Some(Action::Send { to: succ, msg: ProcMsg::SyncRequest { from: self.me } })
+        Some(Action::Send {
+            to: succ,
+            msg: ProcMsg::SyncRequest { from: self.me },
+        })
     }
 
     /// A peer asked for our per-sensor watermarks.
@@ -183,23 +194,25 @@ impl GaplessState {
     pub fn on_sync_request(&self, from: ProcessId) -> Action {
         Action::Send {
             to: from,
-            msg: ProcMsg::SyncReply { from: self.me, watermarks: self.store.watermarks() },
+            msg: ProcMsg::SyncReply {
+                from: self.me,
+                watermarks: self.store.watermarks(),
+            },
         }
     }
 
     /// The successor replied with its watermarks; ship it everything it
     /// is missing (nothing to send returns `None`).
     #[must_use]
-    pub fn on_sync_reply(
-        &self,
-        from: ProcessId,
-        watermarks: &[(SensorId, u64)],
-    ) -> Option<Action> {
+    pub fn on_sync_reply(&self, from: ProcessId, watermarks: &[(SensorId, u64)]) -> Option<Action> {
         let diff = self.store.diff_for(watermarks);
         if diff.is_empty() {
             return None;
         }
-        Some(Action::Send { to: from, msg: ProcMsg::SyncEvents { events: diff } })
+        Some(Action::Send {
+            to: from,
+            msg: ProcMsg::SyncEvents { events: diff },
+        })
     }
 
     /// Missing events arrived from a predecessor's sync. New ones are
@@ -222,7 +235,11 @@ mod tests {
     use rivulet_types::{EventId, EventKind, Time};
 
     fn ev(seq: u64) -> Event {
-        Event::new(EventId::new(SensorId(7), seq), EventKind::Motion, Time::from_millis(seq))
+        Event::new(
+            EventId::new(SensorId(7), seq),
+            EventKind::Motion,
+            Time::from_millis(seq),
+        )
     }
 
     fn pids(ids: &[u32]) -> Vec<ProcessId> {
@@ -230,7 +247,10 @@ mod tests {
     }
 
     fn deliver_count(actions: &[Action]) -> usize {
-        actions.iter().filter(|a| matches!(a, Action::Deliver { .. })).count()
+        actions
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count()
     }
 
     #[test]
@@ -241,7 +261,10 @@ mod tests {
         assert!(out.start_broadcast.is_none());
         assert_eq!(deliver_count(&out.actions), 1);
         match &out.actions[1] {
-            Action::Send { to, msg: ProcMsg::Ring { seen, need, .. } } => {
+            Action::Send {
+                to,
+                msg: ProcMsg::Ring { seen, need, .. },
+            } => {
                 assert_eq!(*to, ProcessId(1));
                 assert_eq!(*seen, pids(&[0]));
                 assert_eq!(*need, view);
@@ -276,7 +299,10 @@ mod tests {
         let out = g.on_ring(ev(0), pids(&[0]), pids(&[0, 1]), &view, Some(ProcessId(3)));
         assert_eq!(deliver_count(&out.actions), 1);
         match &out.actions[1] {
-            Action::Send { to, msg: ProcMsg::Ring { seen, need, .. } } => {
+            Action::Send {
+                to,
+                msg: ProcMsg::Ring { seen, need, .. },
+            } => {
                 assert_eq!(*to, ProcessId(3));
                 assert_eq!(*seen, pids(&[0, 1]));
                 assert_eq!(*need, pids(&[0, 1, 3]), "need extended with our view");
@@ -320,7 +346,13 @@ mod tests {
         let mut g = GaplessState::new(ProcessId(2), 100, true);
         let view = pids(&[0, 1, 2]);
         let _ = g.on_local_ingest(ev(0), &view, Some(ProcessId(0)));
-        let out = g.on_ring(ev(0), pids(&[0, 1]), pids(&[0, 1, 2]), &view, Some(ProcessId(0)));
+        let out = g.on_ring(
+            ev(0),
+            pids(&[0, 1]),
+            pids(&[0, 1, 2]),
+            &view,
+            Some(ProcessId(0)),
+        );
         assert!(out.start_broadcast.is_none());
         assert!(out.actions.is_empty());
     }
@@ -335,20 +367,26 @@ mod tests {
         let mut p2 = GaplessState::new(ProcessId(2), 100, true);
 
         let out0 = p0.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
-            out0.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            ..
+        } = out0.actions[1].clone()
         else {
             panic!()
         };
         let out1 = p1.on_ring(event, seen, need, &view, Some(ProcessId(2)));
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
-            out1.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            ..
+        } = out1.actions[1].clone()
         else {
             panic!()
         };
         let out2 = p2.on_ring(event, seen, need, &view, Some(ProcessId(0)));
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, to } =
-            out2.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            to,
+        } = out2.actions[1].clone()
         else {
             panic!()
         };
@@ -372,24 +410,30 @@ mod tests {
         let o0 = p0.on_local_ingest(ev(0), &view, Some(ProcessId(1)));
         let o1 = p1.on_local_ingest(ev(0), &view, Some(ProcessId(2)));
         // p1 receives p0's ring copy: already seen, S={0}, p1 ∉ S → ignore.
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
-            o0.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            ..
+        } = o0.actions[1].clone()
         else {
             panic!()
         };
         let r = p1.on_ring(event, seen, need, &view, Some(ProcessId(2)));
         assert!(r.start_broadcast.is_none());
         // p2 receives p1's ring copy: new → delivers, forwards to p0.
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
-            o1.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            ..
+        } = o1.actions[1].clone()
         else {
             panic!()
         };
         let r2 = p2.on_ring(event, seen, need, &view, Some(ProcessId(0)));
         assert_eq!(deliver_count(&r2.actions), 1);
         // p0 gets it back: S={1,2}≠V, p0 ∉ S → ignore (no broadcast).
-        let Action::Send { msg: ProcMsg::Ring { event, seen, need }, .. } =
-            r2.actions[1].clone()
+        let Action::Send {
+            msg: ProcMsg::Ring { event, seen, need },
+            ..
+        } = r2.actions[1].clone()
         else {
             panic!()
         };
@@ -412,18 +456,25 @@ mod tests {
         let req = ahead.on_successor_change(Some(ProcessId(1)));
         assert!(matches!(
             req,
-            Some(Action::Send { to: ProcessId(1), msg: ProcMsg::SyncRequest { .. } })
+            Some(Action::Send {
+                to: ProcessId(1),
+                msg: ProcMsg::SyncRequest { .. }
+            })
         ));
         // behind replies with watermarks.
-        let Action::Send { msg: ProcMsg::SyncReply { watermarks, .. }, .. } =
-            behind.on_sync_request(ProcessId(0))
+        let Action::Send {
+            msg: ProcMsg::SyncReply { watermarks, .. },
+            ..
+        } = behind.on_sync_request(ProcessId(0))
         else {
             panic!()
         };
         assert_eq!(watermarks, vec![(SensorId(7), 0)]);
         // ahead ships the diff.
-        let Some(Action::Send { msg: ProcMsg::SyncEvents { events }, .. }) =
-            ahead.on_sync_reply(ProcessId(1), &watermarks)
+        let Some(Action::Send {
+            msg: ProcMsg::SyncEvents { events },
+            ..
+        }) = ahead.on_sync_reply(ProcessId(1), &watermarks)
         else {
             panic!("expected sync events")
         };
@@ -438,12 +489,21 @@ mod tests {
     fn successor_change_dedup_and_anti_entropy_toggle() {
         let mut g = GaplessState::new(ProcessId(0), 100, true);
         assert!(g.on_successor_change(Some(ProcessId(1))).is_some());
-        assert!(g.on_successor_change(Some(ProcessId(1))).is_none(), "same successor");
+        assert!(
+            g.on_successor_change(Some(ProcessId(1))).is_none(),
+            "same successor"
+        );
         assert!(g.on_successor_change(None).is_none());
-        assert!(g.on_successor_change(Some(ProcessId(1))).is_some(), "re-sync after churn");
+        assert!(
+            g.on_successor_change(Some(ProcessId(1))).is_some(),
+            "re-sync after churn"
+        );
 
         let mut off = GaplessState::new(ProcessId(0), 100, false);
-        assert!(off.on_successor_change(Some(ProcessId(1))).is_none(), "ablation: no sync");
+        assert!(
+            off.on_successor_change(Some(ProcessId(1))).is_none(),
+            "ablation: no sync"
+        );
     }
 
     #[test]

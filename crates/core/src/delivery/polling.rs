@@ -129,8 +129,7 @@ impl PollState {
         }
         match self.plan.strategy {
             PollStrategy::Coordinated => {
-                let offset =
-                    self.plan.epoch.as_micros() * self.slot as u64 / self.n_nodes as u64;
+                let offset = self.plan.epoch.as_micros() * self.slot as u64 / self.n_nodes as u64;
                 Some(Duration::from_micros(offset))
             }
             PollStrategy::Uncoordinated => {
@@ -227,7 +226,9 @@ mod tests {
         let mut s = PollState::new(plan(PollStrategy::Uncoordinated), 0, 3);
         let mut offsets = Vec::new();
         for epoch in 0..100 {
-            let off = s.on_epoch_start(epoch, true, &mut rng).expect("participates");
+            let off = s
+                .on_epoch_start(epoch, true, &mut rng)
+                .expect("participates");
             assert!(off < Duration::from_millis(1_800));
             offsets.push(off);
         }

@@ -37,7 +37,11 @@ impl RbcastState {
     /// Creates broadcast state for process `me`.
     #[must_use]
     pub fn new(me: ProcessId) -> Self {
-        Self { me, pending: HashMap::new(), relayed: BTreeSet::new() }
+        Self {
+            me,
+            pending: HashMap::new(),
+            relayed: BTreeSet::new(),
+        }
     }
 
     /// Number of broadcasts still awaiting acknowledgements.
@@ -49,8 +53,7 @@ impl RbcastState {
     /// Initiates (or re-initiates) a broadcast of `event` to every peer
     /// in `view` except `me`.
     pub fn start(&mut self, event: Event, view: &[ProcessId]) -> Vec<Action> {
-        let peers: BTreeSet<ProcessId> =
-            view.iter().copied().filter(|p| *p != self.me).collect();
+        let peers: BTreeSet<ProcessId> = view.iter().copied().filter(|p| *p != self.me).collect();
         if peers.is_empty() {
             return Vec::new();
         }
@@ -59,10 +62,19 @@ impl RbcastState {
             .iter()
             .map(|p| Action::Send {
                 to: *p,
-                msg: ProcMsg::Broadcast { event: event.clone(), origin: self.me },
+                msg: ProcMsg::Broadcast {
+                    event: event.clone(),
+                    origin: self.me,
+                },
             })
             .collect();
-        self.pending.insert(event.id, PendingBroadcast { event, unacked: peers });
+        self.pending.insert(
+            event.id,
+            PendingBroadcast {
+                event,
+                unacked: peers,
+            },
+        );
         actions
     }
 
@@ -78,7 +90,10 @@ impl RbcastState {
     ) -> Vec<Action> {
         let mut actions = vec![Action::Send {
             to: origin,
-            msg: ProcMsg::BroadcastAck { id: event.id, from: self.me },
+            msg: ProcMsg::BroadcastAck {
+                id: event.id,
+                from: self.me,
+            },
         }];
         if was_new && !self.relayed.contains(&event.id) {
             actions.extend(self.start(event.clone(), view));
@@ -109,7 +124,10 @@ impl RbcastState {
             for peer in &p.unacked {
                 actions.push(Action::Send {
                     to: *peer,
-                    msg: ProcMsg::Broadcast { event: p.event.clone(), origin: self.me },
+                    msg: ProcMsg::Broadcast {
+                        event: p.event.clone(),
+                        origin: self.me,
+                    },
                 });
             }
             true
@@ -139,7 +157,10 @@ mod tests {
         actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: ProcMsg::Broadcast { .. } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: ProcMsg::Broadcast { .. },
+                } => Some(*to),
                 _ => None,
             })
             .collect()
@@ -196,7 +217,10 @@ mod tests {
         // First action: ack to origin.
         assert!(matches!(
             actions[0],
-            Action::Send { to: ProcessId(0), msg: ProcMsg::BroadcastAck { .. } }
+            Action::Send {
+                to: ProcessId(0),
+                msg: ProcMsg::BroadcastAck { .. }
+            }
         ));
         // Relay flood to peers.
         assert_eq!(send_targets(&actions), pids(&[0, 2]));
@@ -205,7 +229,10 @@ mod tests {
         assert_eq!(again.len(), 1);
         assert!(matches!(
             again[0],
-            Action::Send { to: ProcessId(2), msg: ProcMsg::BroadcastAck { .. } }
+            Action::Send {
+                to: ProcessId(2),
+                msg: ProcMsg::BroadcastAck { .. }
+            }
         ));
     }
 

@@ -23,8 +23,9 @@ use rivulet_types::{ActuationState, ActuatorId, Duration, ProcessId, SensorId};
 
 use crate::app::AppSpec;
 use crate::config::RivuletConfig;
-use crate::probe::{AppProbe, ProbeRegistry};
-use crate::process::{ProcessSpec, RivuletProcess};
+use crate::probe::{AppProbe, ProbeRegistry, StoreProbe};
+use crate::process::{DurabilitySpec, ProcessSpec, RivuletProcess};
+use rivulet_storage::{StorageBackend, WalOptions};
 
 /// One sensor's entry in the deployment directory.
 #[derive(Debug, Clone)]
@@ -218,6 +219,14 @@ impl Home {
     }
 }
 
+/// Per-deployment durable-storage plan: a factory producing one
+/// backend per process, plus the WAL tuning shared by all of them.
+struct StoragePlan {
+    factory: Box<dyn Fn(ProcessId) -> Arc<dyn StorageBackend>>,
+    options: WalOptions,
+    checkpoint_interval: Duration,
+}
+
 /// Fluent builder assembling a home deployment on a driver.
 pub struct HomeBuilder<'a, D: Driver> {
     driver: &'a mut D,
@@ -227,6 +236,8 @@ pub struct HomeBuilder<'a, D: Driver> {
     actuators: Vec<ActuatorDecl>,
     apps: Vec<(Arc<AppSpec>, Arc<AppProbe>)>,
     probes: Arc<ProbeRegistry>,
+    storage: Option<StoragePlan>,
+    store_probe: Option<Arc<StoreProbe>>,
 }
 
 impl<D: Driver> std::fmt::Debug for HomeBuilder<'_, D> {
@@ -251,6 +262,8 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
             actuators: Vec::new(),
             apps: Vec::new(),
             probes: ProbeRegistry::new(),
+            storage: None,
+            store_probe: None,
         }
     }
 
@@ -259,6 +272,35 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
     pub fn with_config(mut self, config: RivuletConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches durable storage: `factory` yields each process's
+    /// backend (call it with the process id so every process gets its
+    /// own log; keep the returned `Arc`s if the harness needs to
+    /// inject crashes or corruption). Events are then appended to a
+    /// write-ahead log before being acked or delivered, checkpoints
+    /// are written every `checkpoint_interval`, and recovery replays
+    /// the log instead of relying solely on anti-entropy.
+    #[must_use]
+    pub fn with_storage(
+        mut self,
+        options: WalOptions,
+        checkpoint_interval: Duration,
+        factory: impl Fn(ProcessId) -> Arc<dyn StorageBackend> + 'static,
+    ) -> Self {
+        self.storage = Some(StoragePlan {
+            factory: Box::new(factory),
+            options,
+            checkpoint_interval,
+        });
+        self
+    }
+
+    /// Attaches a store-residency probe sampled by every process on
+    /// its periodic tick; returns the shared probe.
+    pub fn with_store_probe(&mut self) -> Arc<StoreProbe> {
+        let probe = self.store_probe.get_or_insert_with(StoreProbe::new);
+        Arc::clone(probe)
     }
 
     /// Declares a host (TV, fridge, hub, …); returns its process id.
@@ -365,6 +407,12 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                 config: self.config.clone(),
                 apps: self.apps.clone(),
                 directory: Arc::clone(&directory),
+                storage: self.storage.as_ref().map(|plan| DurabilitySpec {
+                    backend: (plan.factory)(pid),
+                    options: plan.options,
+                    checkpoint_interval: plan.checkpoint_interval,
+                }),
+                store_probe: self.store_probe.clone(),
             };
             let actor = self.driver.add_boxed_actor(
                 name,
@@ -388,9 +436,14 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
         for (i, decl) in self.sensors.into_iter().enumerate() {
             let id = SensorId(i as u32);
             match decl {
-                SensorDecl::Push { name, payload, schedule, reachers, probe } => {
-                    let targets: Vec<ActorId> =
-                        reachers.iter().map(|p| actor_of(*p)).collect();
+                SensorDecl::Push {
+                    name,
+                    payload,
+                    schedule,
+                    reachers,
+                    probe,
+                } => {
+                    let targets: Vec<ActorId> = reachers.iter().map(|p| actor_of(*p)).collect();
                     let actor = self.driver.add_boxed_actor(
                         &name,
                         ActorClass::Device,
@@ -418,7 +471,13 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                     });
                     sensor_actors.push((id, actor));
                 }
-                SensorDecl::Poll { name, value, poll_latency, reachers, probe } => {
+                SensorDecl::Poll {
+                    name,
+                    value,
+                    poll_latency,
+                    reachers,
+                    probe,
+                } => {
                     let actor = self.driver.add_boxed_actor(
                         &name,
                         ActorClass::Device,
@@ -450,15 +509,22 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
         let mut actuator_actors = Vec::new();
         for (i, decl) in self.actuators.into_iter().enumerate() {
             let id = ActuatorId(i as u32);
-            let ActuatorDecl { name, initial, reachers, probe } = decl;
+            let ActuatorDecl {
+                name,
+                initial,
+                reachers,
+                probe,
+            } = decl;
             let actor = self.driver.add_boxed_actor(
                 &name,
                 ActorClass::Device,
-                Box::new(move || {
-                    Box::new(ActuatorDevice::new(id, initial, Arc::clone(&probe)))
-                }),
+                Box::new(move || Box::new(ActuatorDevice::new(id, initial, Arc::clone(&probe)))),
             );
-            actuator_entries.push(ActuatorEntry { id, actor, reachers });
+            actuator_entries.push(ActuatorEntry {
+                id,
+                actor,
+                reachers,
+            });
             actuator_actors.push((id, actor));
         }
 
@@ -514,11 +580,7 @@ mod tests {
             &[tv, tv, hub], // duplicates tolerated
         );
         assert_eq!(door, SensorId(0));
-        let (light, _) = b.add_actuator(
-            "light",
-            ActuationState::Switch(false),
-            &[hub],
-        );
+        let (light, _) = b.add_actuator("light", ActuationState::Switch(false), &[hub]);
         assert_eq!(light, ActuatorId(0));
         let home = b.build();
         assert_eq!(home.processes.len(), 2);

@@ -20,10 +20,7 @@ use rivulet_types::ProcessId;
 /// if in the chain, always sees itself alive, so a chain member never
 /// gets `None` for its own app).
 #[must_use]
-pub fn active_logic(
-    chain: &[ProcessId],
-    alive: impl Fn(ProcessId) -> bool,
-) -> Option<ProcessId> {
+pub fn active_logic(chain: &[ProcessId], alive: impl Fn(ProcessId) -> bool) -> Option<ProcessId> {
     chain.iter().copied().find(|p| alive(*p))
 }
 
@@ -69,7 +66,11 @@ impl ExecutionState {
     #[must_use]
     pub fn new(me: ProcessId, chain: Vec<ProcessId>) -> Self {
         assert!(chain.contains(&me), "process must be in the app chain");
-        Self { me, chain, status: LogicStatus::Shadow }
+        Self {
+            me,
+            chain,
+            status: LogicStatus::Shadow,
+        }
     }
 
     /// The placement chain (position 0 = preferred host).
@@ -163,8 +164,14 @@ mod tests {
         // only itself alive among chain members.
         let mut a = ExecutionState::new(ProcessId(0), pids(&[0, 1]));
         let mut b = ExecutionState::new(ProcessId(1), pids(&[0, 1]));
-        assert_eq!(a.reevaluate(|p| p == ProcessId(0)), Some(Transition::Promoted));
-        assert_eq!(b.reevaluate(|p| p == ProcessId(1)), Some(Transition::Promoted));
+        assert_eq!(
+            a.reevaluate(|p| p == ProcessId(0)),
+            Some(Transition::Promoted)
+        );
+        assert_eq!(
+            b.reevaluate(|p| p == ProcessId(1)),
+            Some(Transition::Promoted)
+        );
         assert!(a.is_active() && b.is_active(), "both sides actuate (§5)");
         // Partition heals: the later chain member yields.
         assert_eq!(a.reevaluate(|_| true), None);
@@ -175,10 +182,7 @@ mod tests {
     fn believed_active_tracks_view() {
         let e = ExecutionState::new(ProcessId(2), pids(&[0, 1, 2]));
         assert_eq!(e.believed_active(|_| true), Some(ProcessId(0)));
-        assert_eq!(
-            e.believed_active(|p| p == ProcessId(2)),
-            Some(ProcessId(2))
-        );
+        assert_eq!(e.believed_active(|p| p == ProcessId(2)), Some(ProcessId(2)));
     }
 
     #[test]

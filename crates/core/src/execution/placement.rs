@@ -29,13 +29,25 @@ impl Reachability {
     /// Creates a reachability record.
     #[must_use]
     pub fn new(process: ProcessId, sensors: Vec<SensorId>, actuators: Vec<ActuatorId>) -> Self {
-        Self { process, sensors, actuators }
+        Self {
+            process,
+            sensors,
+            actuators,
+        }
     }
 
     /// How many of the app's required devices this process reaches.
     fn score(&self, req_sensors: &[SensorId], req_actuators: &[ActuatorId]) -> usize {
-        let s = self.sensors.iter().filter(|s| req_sensors.contains(s)).count();
-        let a = self.actuators.iter().filter(|a| req_actuators.contains(a)).count();
+        let s = self
+            .sensors
+            .iter()
+            .filter(|s| req_sensors.contains(s))
+            .count();
+        let a = self
+            .actuators
+            .iter()
+            .filter(|a| req_actuators.contains(a))
+            .count();
         s + a
     }
 }

@@ -86,4 +86,5 @@ pub mod store;
 pub use config::{ForwardingMode, RivuletConfig};
 pub use delivery::Delivery;
 pub use deploy::{Home, HomeBuilder};
-pub use probe::AppProbe;
+pub use probe::{AppProbe, StoreProbe};
+pub use process::DurabilitySpec;

@@ -27,17 +27,17 @@ impl Membership {
     /// not instantly suspect the whole home and wrongly promote itself
     /// before its first keep-alive exchange completes.
     #[must_use]
-    pub fn new(
-        me: ProcessId,
-        peers: &[ProcessId],
-        failure_timeout: Duration,
-        now: Time,
-    ) -> Self {
+    pub fn new(me: ProcessId, peers: &[ProcessId], failure_timeout: Duration, now: Time) -> Self {
         let mut all: Vec<ProcessId> = peers.iter().copied().filter(|p| *p != me).collect();
         all.sort_unstable();
         all.dedup();
         let last_heard = all.iter().map(|p| (*p, now)).collect();
-        Self { me, peers: all, last_heard, failure_timeout }
+        Self {
+            me,
+            peers: all,
+            last_heard,
+            failure_timeout,
+        }
     }
 
     /// This process's identity.
@@ -147,7 +147,10 @@ mod tests {
         let mut m = m3();
         let t = Time::from_secs(100);
         assert!(m.is_alive(ProcessId(1), t));
-        assert!(!m.is_alive(ProcessId(42), t), "unknown processes are not alive");
+        assert!(
+            !m.is_alive(ProcessId(42), t),
+            "unknown processes are not alive"
+        );
         m.heard_from(ProcessId(42), t); // unknown: ignored
         assert!(!m.is_alive(ProcessId(42), t));
         m.heard_from(ProcessId(1), t); // self: ignored
@@ -169,8 +172,12 @@ mod tests {
         // Full view {0,1,2}: successor of 1 is 2.
         assert_eq!(m.ring_successor(t), Some(ProcessId(2)));
         // Highest process wraps to lowest.
-        let m2 =
-            Membership::new(ProcessId(2), &pids(&[0, 1, 2]), Duration::from_secs(2), Time::ZERO);
+        let m2 = Membership::new(
+            ProcessId(2),
+            &pids(&[0, 1, 2]),
+            Duration::from_secs(2),
+            Time::ZERO,
+        );
         assert_eq!(m2.ring_successor(t), Some(ProcessId(0)));
         // After suspecting 2, successor of 1 wraps to 0.
         let late = Time::from_secs(5);
@@ -196,7 +203,11 @@ mod tests {
             Time::from_secs(80),
         );
         assert_eq!(m.view(Time::from_secs(81)), pids(&[0, 1, 2]));
-        assert_eq!(m.view(Time::from_secs(83)), pids(&[2]), "then silence counts");
+        assert_eq!(
+            m.view(Time::from_secs(83)),
+            pids(&[2]),
+            "then silence counts"
+        );
     }
 
     #[test]

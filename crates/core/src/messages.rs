@@ -107,15 +107,11 @@ impl ProcMsg {
 impl Wire for ProcMsg {
     fn encoded_len(&self) -> usize {
         1 + match self {
-            ProcMsg::KeepAlive { from, processed } => {
-                from.encoded_len() + processed.encoded_len()
-            }
+            ProcMsg::KeepAlive { from, processed } => from.encoded_len() + processed.encoded_len(),
             ProcMsg::Ring { event, seen, need } => {
                 event.encoded_len() + seen.encoded_len() + need.encoded_len()
             }
-            ProcMsg::Broadcast { event, origin } => {
-                event.encoded_len() + origin.encoded_len()
-            }
+            ProcMsg::Broadcast { event, origin } => event.encoded_len() + origin.encoded_len(),
             ProcMsg::BroadcastAck { id, from } => id.encoded_len() + from.encoded_len(),
             ProcMsg::GapForward { event } => event.encoded_len(),
             ProcMsg::SyncRequest { from } => from.encoded_len(),
@@ -177,14 +173,22 @@ impl Wire for ProcMsg {
                 id: EventId::decode(r)?,
                 from: ProcessId::decode(r)?,
             }),
-            4 => Ok(ProcMsg::GapForward { event: Event::decode(r)? }),
-            5 => Ok(ProcMsg::SyncRequest { from: ProcessId::decode(r)? }),
+            4 => Ok(ProcMsg::GapForward {
+                event: Event::decode(r)?,
+            }),
+            5 => Ok(ProcMsg::SyncRequest {
+                from: ProcessId::decode(r)?,
+            }),
             6 => Ok(ProcMsg::SyncReply {
                 from: ProcessId::decode(r)?,
                 watermarks: Vec::decode(r)?,
             }),
-            7 => Ok(ProcMsg::SyncEvents { events: Vec::decode(r)? }),
-            8 => Ok(ProcMsg::CmdForward { command: Command::decode(r)? }),
+            7 => Ok(ProcMsg::SyncEvents {
+                events: Vec::decode(r)?,
+            }),
+            8 => Ok(ProcMsg::CmdForward {
+                command: Command::decode(r)?,
+            }),
             tag => Err(WireError::InvalidTag { ty: "ProcMsg", tag }),
         }
     }
@@ -197,12 +201,19 @@ mod tests {
     use rivulet_types::{EventKind, Time};
 
     fn ev(seq: u64) -> Event {
-        Event::new(EventId::new(SensorId(1), seq), EventKind::Motion, Time::from_millis(seq))
+        Event::new(
+            EventId::new(SensorId(1), seq),
+            EventKind::Motion,
+            Time::from_millis(seq),
+        )
     }
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(&ProcMsg::KeepAlive { from: ProcessId(3), processed: vec![] });
+        roundtrip(&ProcMsg::KeepAlive {
+            from: ProcessId(3),
+            processed: vec![],
+        });
         roundtrip(&ProcMsg::KeepAlive {
             from: ProcessId(3),
             processed: vec![(SensorId(1), 99), (SensorId(2), 0)],
@@ -220,7 +231,10 @@ mod tests {
             seen: vec![ProcessId(0), ProcessId(1)],
             need: vec![ProcessId(0), ProcessId(1), ProcessId(2)],
         });
-        roundtrip(&ProcMsg::Broadcast { event: ev(1), origin: ProcessId(2) });
+        roundtrip(&ProcMsg::Broadcast {
+            event: ev(1),
+            origin: ProcessId(2),
+        });
         roundtrip(&ProcMsg::BroadcastAck {
             id: EventId::new(SensorId(1), 1),
             from: ProcessId(0),
@@ -231,7 +245,9 @@ mod tests {
             from: ProcessId(4),
             watermarks: vec![(SensorId(1), 10), (SensorId(2), 0)],
         });
-        roundtrip(&ProcMsg::SyncEvents { events: vec![ev(3), ev(4)] });
+        roundtrip(&ProcMsg::SyncEvents {
+            events: vec![ev(3), ev(4)],
+        });
     }
 
     #[test]
@@ -250,7 +266,10 @@ mod tests {
 
     #[test]
     fn keepalive_is_tiny() {
-        let ka = ProcMsg::KeepAlive { from: ProcessId(1), processed: vec![] };
+        let ka = ProcMsg::KeepAlive {
+            from: ProcessId(1),
+            processed: vec![],
+        };
         assert!(ka.encoded_len() <= 3, "keep-alive must stay cheap");
     }
 
@@ -258,7 +277,10 @@ mod tests {
     fn junk_tag_rejected() {
         assert!(matches!(
             ProcMsg::from_bytes(&[200]),
-            Err(WireError::InvalidTag { ty: "ProcMsg", tag: 200 })
+            Err(WireError::InvalidTag {
+                ty: "ProcMsg",
+                tag: 200
+            })
         ));
     }
 }
@@ -271,7 +293,12 @@ mod proptests {
     use rivulet_types::{EventKind, Payload, Time};
 
     fn arb_event() -> impl Strategy<Value = Event> {
-        (any::<u32>(), any::<u64>(), any::<u64>(), proptest::option::of(any::<u64>()))
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u64>()),
+        )
             .prop_map(|(sensor, seq, at, epoch)| {
                 let mut e = Event::with_payload(
                     EventId::new(SensorId(sensor), seq),
@@ -290,7 +317,10 @@ mod proptests {
 
     fn arb_msg() -> impl Strategy<Value = ProcMsg> {
         prop_oneof![
-            (any::<u32>(), proptest::collection::vec((any::<u32>(), any::<u64>()), 0..6))
+            (
+                any::<u32>(),
+                proptest::collection::vec((any::<u32>(), any::<u64>()), 0..6)
+            )
                 .prop_map(|(from, processed)| ProcMsg::KeepAlive {
                     from: ProcessId(from),
                     processed: processed
@@ -298,10 +328,15 @@ mod proptests {
                         .map(|(s, q)| (SensorId(s), q))
                         .collect(),
                 }),
-            (arb_event(), arb_pids(), arb_pids())
-                .prop_map(|(event, seen, need)| ProcMsg::Ring { event, seen, need }),
-            (arb_event(), any::<u32>())
-                .prop_map(|(event, o)| ProcMsg::Broadcast { event, origin: ProcessId(o) }),
+            (arb_event(), arb_pids(), arb_pids()).prop_map(|(event, seen, need)| ProcMsg::Ring {
+                event,
+                seen,
+                need
+            }),
+            (arb_event(), any::<u32>()).prop_map(|(event, o)| ProcMsg::Broadcast {
+                event,
+                origin: ProcessId(o)
+            }),
             (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(s, q, f)| {
                 ProcMsg::BroadcastAck {
                     id: EventId::new(SensorId(s), q),

@@ -60,18 +60,27 @@ impl AppProbe {
 
     /// Records a command issued by the app.
     pub fn record_command(&self, at: Time, command: Command) {
-        self.commands.lock().expect("probe lock").push((at, command));
+        self.commands
+            .lock()
+            .expect("probe lock")
+            .push((at, command));
     }
 
     /// Records a user alert raised by the app.
     pub fn record_alert(&self, at: Time, by: ProcessId, message: String) {
-        self.alerts.lock().expect("probe lock").push((at, by, message));
+        self.alerts
+            .lock()
+            .expect("probe lock")
+            .push((at, by, message));
     }
 
     /// Records a promotion (`active = true`) or demotion of the logic
     /// node at `process`.
     pub fn record_transition(&self, at: Time, process: ProcessId, active: bool) {
-        self.transitions.lock().expect("probe lock").push((at, process, active));
+        self.transitions
+            .lock()
+            .expect("probe lock")
+            .push((at, process, active));
     }
 
     /// Records a missed polling epoch (§4.1's exception).
@@ -104,7 +113,12 @@ impl AppProbe {
     /// Delays of all deliveries (Fig. 4 metric).
     #[must_use]
     pub fn delays(&self) -> Vec<Duration> {
-        self.deliveries.lock().expect("probe lock").iter().map(DeliveryRecord::delay).collect()
+        self.deliveries
+            .lock()
+            .expect("probe lock")
+            .iter()
+            .map(DeliveryRecord::delay)
+            .collect()
     }
 
     /// Mean delay, if any deliveries occurred.
@@ -146,6 +160,61 @@ impl AppProbe {
     #[must_use]
     pub fn stale_drops(&self) -> u64 {
         self.stale_drops.load(Ordering::SeqCst)
+    }
+}
+
+/// Measurement tap for event-store residency, shared by every process
+/// of a deployment. Each process samples its store size on its
+/// periodic tick; tests use the samples to assert bounded growth.
+#[derive(Debug, Default)]
+pub struct StoreProbe {
+    samples: Mutex<Vec<(Time, ProcessId, usize)>>,
+}
+
+impl StoreProbe {
+    /// Creates an empty probe.
+    #[must_use]
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::default())
+    }
+
+    /// Records the store size of `process` at `at`.
+    pub fn record_len(&self, at: Time, process: ProcessId, len: usize) {
+        self.samples
+            .lock()
+            .expect("probe lock")
+            .push((at, process, len));
+    }
+
+    /// All samples in recording order.
+    #[must_use]
+    pub fn samples(&self) -> Vec<(Time, ProcessId, usize)> {
+        self.samples.lock().expect("probe lock").clone()
+    }
+
+    /// The largest store size any process ever reported.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.samples
+            .lock()
+            .expect("probe lock")
+            .iter()
+            .map(|(_, _, len)| *len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest store size `process` reported at or after `since`.
+    #[must_use]
+    pub fn max_len_since(&self, process: ProcessId, since: Time) -> usize {
+        self.samples
+            .lock()
+            .expect("probe lock")
+            .iter()
+            .filter(|(at, p, _)| *p == process && *at >= since)
+            .map(|(_, _, len)| *len)
+            .max()
+            .unwrap_or(0)
     }
 }
 

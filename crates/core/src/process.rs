@@ -7,10 +7,16 @@
 //! the polling coordinator schedules poll-based sensors, and the
 //! execution service elects active logic nodes and runs app runtimes.
 //!
-//! All state is volatile: a crash loses it, and a recovered process is
-//! rebuilt from its (re-invoked) factory, re-joining via keep-alives
-//! and receiving missed events through anti-entropy — the
-//! crash-recovery model of §3.1.
+//! By default all state is volatile: a crash loses it, and a recovered
+//! process is rebuilt from its (re-invoked) factory, re-joining via
+//! keep-alives and receiving missed events through anti-entropy — the
+//! crash-recovery model of §3.1. With a [`DurabilitySpec`] attached,
+//! the process additionally appends every replicated event and
+//! periodic operator checkpoints to a write-ahead log
+//! ([`rivulet_storage::Wal`]) and withholds ring acknowledgements,
+//! broadcast relays, and local delivery until the append is durable;
+//! recovery then restores the event store and processed watermarks
+//! from the log instead of relying solely on peers.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -18,9 +24,7 @@ use std::sync::Arc;
 use rivulet_devices::frame::RadioFrame;
 use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
 use rivulet_types::wire::Wire;
-use rivulet_types::{
-    Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time,
-};
+use rivulet_types::{Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time};
 
 use crate::app::{AppRuntime, AppSpec, OpOutput, StreamKey};
 use crate::config::RivuletConfig;
@@ -33,10 +37,13 @@ use crate::deploy::{Directory, DirectoryData};
 use crate::execution::{placement, ExecutionState, Transition};
 use crate::membership::Membership;
 use crate::messages::ProcMsg;
-use crate::probe::{AppProbe, DeliveryRecord};
+use crate::probe::{AppProbe, DeliveryRecord, StoreProbe};
+use rivulet_storage::{Checkpoint, FlushPolicy, StorageBackend, Wal, WalOptions};
 
 const TOKEN_INIT_RETRY: u64 = 0;
 const TOKEN_TICK: u64 = 1;
+const TOKEN_FLUSH: u64 = 2;
+const TOKEN_CHECKPOINT: u64 = 3;
 const KIND_EPOCH: u64 = 2;
 const KIND_SLOT: u64 = 3;
 const KIND_REPOLL: u64 = 4;
@@ -48,6 +55,29 @@ const GC_STRAGGLER_HORIZON: Duration = Duration::from_secs(30);
 
 fn token(kind: u64, idx: u32) -> u64 {
     (kind << 32) | u64::from(idx)
+}
+
+/// Durable-storage attachment for one process: the backend outlives
+/// crashes (it is cloned into the factory as an `Arc`), so a recovered
+/// incarnation reopens the same log.
+#[derive(Clone)]
+pub struct DurabilitySpec {
+    /// Where segments live (a real directory or a simulated disk).
+    pub backend: Arc<dyn StorageBackend>,
+    /// WAL tuning: flush policy and segment size.
+    pub options: WalOptions,
+    /// How often the process checkpoints processed watermarks and
+    /// compacts fully-acked segments.
+    pub checkpoint_interval: Duration,
+}
+
+impl std::fmt::Debug for DurabilitySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilitySpec")
+            .field("options", &self.options)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Static description used to construct a process actor (shared by the
@@ -63,6 +93,11 @@ pub struct ProcessSpec {
     pub apps: Vec<(Arc<AppSpec>, Arc<AppProbe>)>,
     /// The shared deployment directory, filled before the drivers run.
     pub directory: Arc<Directory>,
+    /// Optional durable storage; `None` keeps the paper's all-volatile
+    /// model.
+    pub storage: Option<DurabilitySpec>,
+    /// Optional store-residency probe sampled on every tick.
+    pub store_probe: Option<Arc<StoreProbe>>,
 }
 
 impl std::fmt::Debug for ProcessSpec {
@@ -110,6 +145,11 @@ struct Initialized {
     window_timers: Vec<(usize, OperatorId, StreamKey, Duration)>,
     cmd_seq: HashMap<OperatorId, u64>,
     last_successor: Option<ProcessId>,
+    /// The write-ahead log, when durable storage is attached.
+    wal: Option<Wal>,
+    /// Delivery-service actions withheld until the WAL events they
+    /// depend on are flushed (group commit).
+    gated: Vec<Action>,
 }
 
 /// The Rivulet process actor.
@@ -154,10 +194,8 @@ impl RivuletProcess {
         let dir = &dir;
         let me = self.me();
         let peers: Vec<ProcessId> = dir.processes.iter().map(|(p, _)| *p).collect();
-        let peer_actors: BTreeMap<ProcessId, ActorId> =
-            dir.processes.iter().copied().collect();
-        let membership =
-            Membership::new(me, &peers, self.spec.config.failure_timeout, ctx.now());
+        let peer_actors: BTreeMap<ProcessId, ActorId> = dir.processes.iter().copied().collect();
+        let membership = Membership::new(me, &peers, self.spec.config.failure_timeout, ctx.now());
 
         // Placement chains are computed from the directory's static
         // reachability — identically at every process (§7).
@@ -183,8 +221,7 @@ impl RivuletProcess {
         let mut apps = Vec::new();
         let mut window_timers = Vec::new();
         for (idx, (spec, probe)) in self.spec.apps.iter().enumerate() {
-            let chain =
-                placement::chain_for(&reach, &spec.sensors(), &spec.actuators());
+            let chain = placement::chain_for(&reach, &spec.sensors(), &spec.actuators());
             let exec = ExecutionState::new(me, chain);
             // Window timer inventory comes from a throwaway runtime.
             let rt = AppRuntime::new(Arc::clone(spec)).expect("validated app");
@@ -263,23 +300,57 @@ impl RivuletProcess {
             .map(|a| (a.id, (a.actor, a.reachers.clone())))
             .collect();
 
+        // Open the WAL (if storage is attached) and recover the
+        // durable prefix: events re-enter the replicated store
+        // silently (no delivery, no ring traffic — peers already saw
+        // them) and the newest checkpoint seeds the processed
+        // watermarks, so a later promotion replays only the suffix
+        // beyond the checkpoint.
+        let mut gapless = GaplessState::new(
+            me,
+            self.spec.config.store_cap_per_sensor,
+            self.spec.config.anti_entropy,
+        );
+        let mut processed: HashMap<SensorId, u64> = HashMap::new();
+        let wal = self.spec.storage.as_ref().map(|durability| {
+            let (wal, recovered) =
+                Wal::open(Arc::clone(&durability.backend), durability.options).expect("wal open");
+            if let Some(checkpoint) = recovered.checkpoint {
+                for (sensor, seq) in checkpoint.processed {
+                    let mark = processed.entry(sensor).or_insert(0);
+                    *mark = (*mark).max(seq);
+                }
+            }
+            for event in recovered.events {
+                gapless.store_mut().insert(event);
+            }
+            wal
+        });
+
         self.st = Some(Initialized {
             membership,
-            gapless: GaplessState::new(
-                me,
-                self.spec.config.store_cap_per_sensor,
-                self.spec.config.anti_entropy,
-            ),
+            gapless,
             rbcast: RbcastState::new(me),
             apps,
             sensors,
             actuators,
             peer_actors,
-            processed: HashMap::new(),
+            processed,
             window_timers,
             cmd_seq: HashMap::new(),
             last_successor: None,
+            wal,
+            gated: Vec::new(),
         });
+
+        // Arm the durability timers: the group-commit flush interval
+        // (when the policy is time-based) and the checkpoint cadence.
+        if let Some(durability) = &self.spec.storage {
+            if let FlushPolicy::EveryInterval(period) = durability.options.flush_policy {
+                ctx.set_timer(period, TOKEN_FLUSH);
+            }
+            ctx.set_timer(durability.checkpoint_interval, TOKEN_CHECKPOINT);
+        }
 
         // Kick off the periodic tick (keep-alives, failure detection,
         // election, broadcast retransmission) and polling epochs.
@@ -316,16 +387,17 @@ impl RivuletProcess {
             for peer in st.membership.peers().to_vec() {
                 sends.push((
                     peer,
-                    ProcMsg::KeepAlive { from: me, processed: processed.clone() },
+                    ProcMsg::KeepAlive {
+                        from: me,
+                        processed: processed.clone(),
+                    },
                 ));
             }
             // Ring successor maintenance + anti-entropy.
             let successor = st.membership.ring_successor(now);
             if successor != st.last_successor {
                 st.last_successor = successor;
-                if let Some(Action::Send { to, msg }) =
-                    st.gapless.on_successor_change(successor)
-                {
+                if let Some(Action::Send { to, msg }) = st.gapless.on_successor_change(successor) {
                     sends.push((to, msg));
                 }
             }
@@ -352,10 +424,17 @@ impl RivuletProcess {
                     let _ = st.gapless.store_mut().prune_processed(sensor, upto, cutoff);
                 }
             }
+            if let Some(probe) = &self.spec.store_probe {
+                probe.record_len(now, me, st.gapless.store().len());
+            }
         }
         for (to, msg) in sends {
             self.send_proc(ctx, to, msg);
         }
+        // Group-commit backstop: a partial EveryN batch (or an idle
+        // interval policy) must not withhold its actions longer than
+        // one keep-alive period.
+        self.flush_wal(ctx);
         self.election(ctx);
         ctx.set_timer(self.spec.config.keepalive_interval, TOKEN_TICK);
     }
@@ -370,7 +449,9 @@ impl RivuletProcess {
             let transition = {
                 let st = self.st.as_mut().expect("initialized");
                 let membership = &st.membership;
-                st.apps[idx].exec.reevaluate(|p| membership.is_alive(p, now))
+                st.apps[idx]
+                    .exec
+                    .reevaluate(|p| membership.is_alive(p, now))
             };
             match transition {
                 Some(Transition::Promoted) => {
@@ -449,7 +530,9 @@ impl RivuletProcess {
         let outputs = {
             let st = self.st.as_mut().expect("initialized");
             let app = &mut st.apps[app_idx];
-            let Some(runtime) = app.runtime.as_mut() else { return };
+            let Some(runtime) = app.runtime.as_mut() else {
+                return;
+            };
             if !runtime.subscribes_to(event.id.sensor) {
                 return;
             }
@@ -478,7 +561,9 @@ impl RivuletProcess {
         self.note_epoch_event(ctx, event);
         let n_apps = self.st.as_ref().expect("initialized").apps.len();
         for idx in 0..n_apps {
-            let active = self.st.as_ref().expect("initialized").apps[idx].exec.is_active();
+            let active = self.st.as_ref().expect("initialized").apps[idx]
+                .exec
+                .is_active();
             if active {
                 self.process_at_app(ctx, idx, event);
             }
@@ -491,7 +576,9 @@ impl RivuletProcess {
         let Some(epoch) = event.epoch else { return };
         let sensor = event.id.sensor;
         let st = self.st.as_mut().expect("initialized");
-        let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+        let Some(rt) = st.sensors.get_mut(&sensor) else {
+            return;
+        };
         let Some(poll) = rt.poll.as_mut() else { return };
         if poll.state.on_event(epoch) {
             ctx.cancel_timer(token(KIND_SLOT, sensor.as_u32()));
@@ -507,6 +594,107 @@ impl RivuletProcess {
                 Action::Deliver { event } => self.deliver_to_apps(ctx, &event),
             }
         }
+    }
+
+    /// Applies delivery-service actions *through the durability gate*:
+    /// every freshly stored event (each `Deliver` action carries
+    /// exactly one) is appended to the WAL, and no action — delivery,
+    /// ring forward, broadcast relay, or ack — takes effect until the
+    /// append is durable. Under group commit the actions queue until
+    /// the policy (or the flush timer / tick backstop) flushes the
+    /// batch. Without storage this is plain [`Self::apply_actions`].
+    fn apply_actions_durably(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
+        if actions.is_empty() {
+            return;
+        }
+        let ready = {
+            let st = self.st.as_mut().expect("initialized");
+            match st.wal.as_mut() {
+                None => Some(actions),
+                Some(wal) => {
+                    for action in &actions {
+                        if let Action::Deliver { event } = action {
+                            wal.append_event(event).expect("wal append");
+                        }
+                    }
+                    st.gated.extend(actions);
+                    if wal.pending_events() == 0 {
+                        Some(std::mem::take(&mut st.gated))
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        if let Some(actions) = ready {
+            self.apply_actions(ctx, actions);
+        }
+    }
+
+    /// Flushes the WAL and releases every gated action. Called by the
+    /// `EveryInterval` flush timer and as a backstop from the periodic
+    /// tick (so an `EveryN` batch that never fills cannot strand its
+    /// actions).
+    fn flush_wal(&mut self, ctx: &mut Context<'_>) {
+        let ready = {
+            let st = self.st.as_mut().expect("initialized");
+            match st.wal.as_mut() {
+                Some(wal) if wal.pending_events() > 0 || !st.gated.is_empty() => {
+                    wal.flush().expect("wal flush");
+                    Some(std::mem::take(&mut st.gated))
+                }
+                _ => None,
+            }
+        };
+        if let Some(actions) = ready {
+            self.apply_actions(ctx, actions);
+        }
+    }
+
+    /// Writes a checkpoint of the processed watermarks and compacts
+    /// fully-acked segments, then re-arms the checkpoint timer.
+    fn checkpoint_fired(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let ready = {
+            let st = self.st.as_mut().expect("initialized");
+            match st.wal.as_mut() {
+                None => None,
+                Some(wal) => {
+                    let mut marks: Vec<(SensorId, u64)> =
+                        st.processed.iter().map(|(s, q)| (*s, *q)).collect();
+                    marks.sort_unstable_by_key(|(s, _)| *s);
+                    wal.append_checkpoint(&Checkpoint {
+                        at: now,
+                        processed: marks,
+                    })
+                    .expect("wal checkpoint");
+                    let _ = wal.compact(&st.processed).expect("wal compact");
+                    // The checkpoint forced a flush, so everything
+                    // gated is now durable.
+                    Some(std::mem::take(&mut st.gated))
+                }
+            }
+        };
+        if let Some(actions) = ready {
+            self.apply_actions(ctx, actions);
+        }
+        if let Some(durability) = &self.spec.storage {
+            ctx.set_timer(durability.checkpoint_interval, TOKEN_CHECKPOINT);
+        }
+    }
+
+    /// Whether any deployed app subscribes to `sensor`. Events of
+    /// unsubscribed sensors are dropped at ingest instead of being
+    /// stored and replicated: no app will ever process them, so their
+    /// watermarks never advance and the store would retain them until
+    /// the per-sensor cap — unbounded residency in practice.
+    fn sensor_subscribed(&self, sensor: SensorId) -> bool {
+        self.st
+            .as_ref()
+            .expect("initialized")
+            .sensors
+            .get(&sensor)
+            .is_some_and(|rt| !rt.subscribed_apps.is_empty())
     }
 
     fn send_proc(&mut self, ctx: &mut Context<'_>, to: ProcessId, msg: ProcMsg) {
@@ -544,9 +732,7 @@ impl RivuletProcess {
                         let id = CommandId::new(me, out.operator, *seq);
                         *seq += 1;
                         let command = Command::new(id, actuator, kind, now);
-                        st.apps[app_idx]
-                            .probe
-                            .record_command(now, command.clone());
+                        st.apps[app_idx].probe.record_command(now, command.clone());
                         command
                     };
                     self.route_command(ctx, command);
@@ -603,10 +789,12 @@ impl RivuletProcess {
                 None => return, // unknown device: ignore
             }
         };
+        if !self.sensor_subscribed(event.id.sensor) {
+            return; // no app will ever process it: do not store/replicate
+        }
         match delivery {
             Delivery::Gapless
-                if self.spec.config.forwarding
-                    == crate::config::ForwardingMode::EagerBroadcast =>
+                if self.spec.config.forwarding == crate::config::ForwardingMode::EagerBroadcast =>
             {
                 // Fig. 5 baseline: flood to all peers unless the event
                 // already arrived from another process.
@@ -622,14 +810,17 @@ impl RivuletProcess {
                     (deliver, peers)
                 };
                 if let Some(action) = deliver {
-                    self.apply_actions(ctx, vec![action]);
+                    let mut actions = vec![action];
                     for peer in peers {
-                        self.send_proc(
-                            ctx,
-                            peer,
-                            ProcMsg::Broadcast { event: event.clone(), origin: me },
-                        );
+                        actions.push(Action::Send {
+                            to: peer,
+                            msg: ProcMsg::Broadcast {
+                                event: event.clone(),
+                                origin: me,
+                            },
+                        });
                     }
+                    self.apply_actions_durably(ctx, actions);
                 }
             }
             Delivery::Gapless => {
@@ -640,7 +831,7 @@ impl RivuletProcess {
                     let outcome = st.gapless.on_local_ingest(event, &view, successor);
                     (outcome.actions, outcome.start_broadcast)
                 };
-                self.apply_actions(ctx, actions);
+                self.apply_actions_durably(ctx, actions);
                 if let Some(ev) = broadcast {
                     self.start_broadcast(ctx, ev);
                 }
@@ -656,8 +847,7 @@ impl RivuletProcess {
                     };
                     let app = &st.apps[app_idx];
                     let membership = &st.membership;
-                    let Some(active) =
-                        app.exec.believed_active(|p| membership.is_alive(p, now))
+                    let Some(active) = app.exec.believed_active(|p| membership.is_alive(p, now))
                     else {
                         return;
                     };
@@ -686,7 +876,10 @@ impl RivuletProcess {
             let view = st.membership.view(ctx.now());
             st.rbcast.start(event, &view)
         };
-        self.apply_actions(ctx, actions);
+        // Broadcasting advertises possession: gate it like any other
+        // delivery action (the event itself was appended when it was
+        // first stored, so this queues behind that flush).
+        self.apply_actions_durably(ctx, actions);
     }
 
     /// A protocol message arrived from a peer process.
@@ -717,22 +910,27 @@ impl RivuletProcess {
                 }
             }
             ProcMsg::Ring { event, seen, need } => {
+                if !self.sensor_subscribed(event.id.sensor) {
+                    return;
+                }
                 let (actions, broadcast) = {
                     let st = self.st.as_mut().expect("initialized");
                     let view = st.membership.view(now);
                     let successor = st.membership.ring_successor(now);
-                    let outcome =
-                        st.gapless.on_ring(event, seen, need, &view, successor);
+                    let outcome = st.gapless.on_ring(event, seen, need, &view, successor);
                     (outcome.actions, outcome.start_broadcast)
                 };
-                self.apply_actions(ctx, actions);
+                self.apply_actions_durably(ctx, actions);
                 if let Some(ev) = broadcast {
                     self.start_broadcast(ctx, ev);
                 }
             }
             ProcMsg::Broadcast { event, origin } => {
-                let eager = self.spec.config.forwarding
-                    == crate::config::ForwardingMode::EagerBroadcast;
+                if !self.sensor_subscribed(event.id.sensor) {
+                    return;
+                }
+                let eager =
+                    self.spec.config.forwarding == crate::config::ForwardingMode::EagerBroadcast;
                 let (deliver, acks) = {
                     let st = self.st.as_mut().expect("initialized");
                     let deliver = st.gapless.on_broadcast_copy(event.clone());
@@ -743,21 +941,34 @@ impl RivuletProcess {
                         Vec::new()
                     } else {
                         let view = st.membership.view(now);
-                        st.rbcast.on_broadcast(&event, origin, deliver.is_some(), &view)
+                        st.rbcast
+                            .on_broadcast(&event, origin, deliver.is_some(), &view)
                     };
                     (deliver, acks)
                 };
-                if let Some(action) = deliver {
-                    self.apply_actions(ctx, vec![action]);
-                }
-                self.apply_actions(ctx, acks);
+                // Deliver first, then ack — and neither before the
+                // event is durable: the ack tells the origin this
+                // replica holds the event.
+                let mut actions: Vec<Action> = Vec::new();
+                actions.extend(deliver);
+                actions.extend(acks);
+                self.apply_actions_durably(ctx, actions);
             }
             ProcMsg::BroadcastAck { id, from } => {
-                self.st.as_mut().expect("initialized").rbcast.on_ack(id, from);
+                self.st
+                    .as_mut()
+                    .expect("initialized")
+                    .rbcast
+                    .on_ack(id, from);
             }
             ProcMsg::GapForward { event } => self.deliver_to_apps(ctx, &event),
             ProcMsg::SyncRequest { from } => {
-                let action = self.st.as_ref().expect("initialized").gapless.on_sync_request(from);
+                let action = self
+                    .st
+                    .as_ref()
+                    .expect("initialized")
+                    .gapless
+                    .on_sync_request(from);
                 self.apply_actions(ctx, vec![action]);
             }
             ProcMsg::SyncReply { from, watermarks } => {
@@ -771,14 +982,15 @@ impl RivuletProcess {
                     self.apply_actions(ctx, vec![action]);
                 }
             }
-            ProcMsg::SyncEvents { events } => {
+            ProcMsg::SyncEvents { mut events } => {
+                events.retain(|e| self.sensor_subscribed(e.id.sensor));
                 let actions = self
                     .st
                     .as_mut()
                     .expect("initialized")
                     .gapless
                     .on_sync_events(events);
-                self.apply_actions(ctx, actions);
+                self.apply_actions_durably(ctx, actions);
             }
             ProcMsg::CmdForward { command } => {
                 let reachable = {
@@ -788,12 +1000,8 @@ impl RivuletProcess {
                         .is_some_and(|(_, reachers)| reachers.contains(&self.spec.pid))
                 };
                 if reachable {
-                    let device = self
-                        .st
-                        .as_ref()
-                        .expect("initialized")
-                        .actuators[&command.actuator]
-                        .0;
+                    let device =
+                        self.st.as_ref().expect("initialized").actuators[&command.actuator].0;
                     ctx.send(device, RadioFrame::Actuate(command).to_payload());
                 }
             }
@@ -810,7 +1018,9 @@ impl RivuletProcess {
         let mut missed_for_apps: Vec<usize> = Vec::new();
         let (epoch_len, participates, slot_delay) = {
             let st = self.st.as_mut().expect("initialized");
-            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let Some(rt) = st.sensors.get_mut(&sensor) else {
+                return;
+            };
             let delivery = rt.delivery;
             let subscribed = rt.subscribed_apps.clone();
             let reachers = rt.reachers.clone();
@@ -836,9 +1046,7 @@ impl RivuletProcess {
                         Some(idx) => {
                             let membership = &st.membership;
                             let app = &st.apps[idx];
-                            let active = app
-                                .exec
-                                .believed_active(|p| membership.is_alive(p, now));
+                            let active = app.exec.believed_active(|p| membership.is_alive(p, now));
                             match active {
                                 None => false,
                                 Some(active) => {
@@ -857,7 +1065,9 @@ impl RivuletProcess {
             let rt = st.sensors.get_mut(&sensor).expect("known sensor");
             let poll = rt.poll.as_mut().expect("poll state");
             poll.participates = participates;
-            let slot_delay = poll.state.on_epoch_start(epoch_idx, participates, ctx.rng());
+            let slot_delay = poll
+                .state
+                .on_epoch_start(epoch_idx, participates, ctx.rng());
             (epoch_len, participates, slot_delay)
         };
         // Stale poll timers from the previous epoch must not leak.
@@ -889,17 +1099,24 @@ impl RivuletProcess {
     fn send_poll(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
         let (device, epoch) = {
             let st = self.st.as_ref().expect("initialized");
-            let Some(rt) = st.sensors.get(&sensor) else { return };
+            let Some(rt) = st.sensors.get(&sensor) else {
+                return;
+            };
             let Some(poll) = rt.poll.as_ref() else { return };
             (rt.device, poll.state.current_epoch())
         };
-        ctx.send(device, RadioFrame::PollRequest { sensor, epoch }.to_payload());
+        ctx.send(
+            device,
+            RadioFrame::PollRequest { sensor, epoch }.to_payload(),
+        );
     }
 
     fn slot_fired(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
         let (should_poll, coordinated, latency) = {
             let st = self.st.as_mut().expect("initialized");
-            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let Some(rt) = st.sensors.get_mut(&sensor) else {
+                return;
+            };
             let Some(poll) = rt.poll.as_mut() else { return };
             let coordinated = poll.state.plan().strategy == PollStrategy::Coordinated;
             let latency = poll.state.plan().poll_latency;
@@ -919,7 +1136,9 @@ impl RivuletProcess {
     fn repoll_fired(&mut self, ctx: &mut Context<'_>, sensor: SensorId) {
         let (should_repoll, latency) = {
             let st = self.st.as_mut().expect("initialized");
-            let Some(rt) = st.sensors.get_mut(&sensor) else { return };
+            let Some(rt) = st.sensors.get_mut(&sensor) else {
+                return;
+            };
             let Some(poll) = rt.poll.as_mut() else { return };
             (poll.state.on_repoll(), poll.state.plan().poll_latency)
         };
@@ -936,14 +1155,15 @@ impl RivuletProcess {
         let now = ctx.now();
         let Some((app_idx, outputs, period)) = ({
             let st = self.st.as_mut().expect("initialized");
-            st.window_timers.get(idx).cloned().and_then(
-                |(app_idx, op, stream, period)| {
+            st.window_timers
+                .get(idx)
+                .cloned()
+                .and_then(|(app_idx, op, stream, period)| {
                     let app = &mut st.apps[app_idx];
-                    app.runtime.as_mut().map(|rt| {
-                        (app_idx, rt.on_time_trigger(now, op, stream), period)
-                    })
-                },
-            )
+                    app.runtime
+                        .as_mut()
+                        .map(|rt| (app_idx, rt.on_time_trigger(now, op, stream), period))
+                })
         }) else {
             return;
         };
@@ -992,6 +1212,17 @@ impl Actor for RivuletProcess {
                 }
                 match (t >> 32, t & 0xffff_ffff) {
                     (0, TOKEN_TICK) => self.tick(ctx),
+                    (0, TOKEN_FLUSH) => {
+                        self.flush_wal(ctx);
+                        if let Some(durability) = &self.spec.storage {
+                            if let FlushPolicy::EveryInterval(period) =
+                                durability.options.flush_policy
+                            {
+                                ctx.set_timer(period, TOKEN_FLUSH);
+                            }
+                        }
+                    }
+                    (0, TOKEN_CHECKPOINT) => self.checkpoint_fired(ctx),
                     (KIND_EPOCH, s) => self.epoch_boundary(ctx, SensorId(s as u32)),
                     (KIND_SLOT, s) => self.slot_fired(ctx, SensorId(s as u32)),
                     (KIND_REPOLL, s) => self.repoll_fired(ctx, SensorId(s as u32)),

@@ -29,7 +29,12 @@ impl EventStore {
     #[must_use]
     pub fn new(cap_per_sensor: usize) -> Self {
         assert!(cap_per_sensor > 0, "store capacity must be positive");
-        Self { by_sensor: HashMap::new(), cap_per_sensor, inserted: 0, evicted: 0 }
+        Self {
+            by_sensor: HashMap::new(),
+            cap_per_sensor,
+            inserted: 0,
+            evicted: 0,
+        }
     }
 
     /// Whether the event identified by `id` has been stored before.
@@ -151,12 +156,7 @@ impl EventStore {
     /// straggling duplicate copy (a late ring message, broadcast
     /// retransmission, or anti-entropy refill) still hits the store's
     /// duplicate check instead of being re-delivered to applications.
-    pub fn prune_processed(
-        &mut self,
-        sensor: SensorId,
-        upto: u64,
-        emitted_before: Time,
-    ) -> usize {
+    pub fn prune_processed(&mut self, sensor: SensorId, upto: u64, emitted_before: Time) -> usize {
         let Some(per) = self.by_sensor.get_mut(&sensor) else {
             return 0;
         };
@@ -244,8 +244,11 @@ mod tests {
             .map(|e| e.id.seq)
             .collect();
         assert_eq!(after3, vec![5, 7]);
-        let all: Vec<u64> =
-            s.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
+        let all: Vec<u64> = s
+            .events_after(SensorId(1), None)
+            .iter()
+            .map(|e| e.id.seq)
+            .collect();
         assert_eq!(all, vec![1, 3, 5, 7]);
         assert!(s.events_after(SensorId(9), None).is_empty());
     }
@@ -258,8 +261,10 @@ mod tests {
         s.insert(ev(2, 4));
         // Peer knows sensor 1 up to 0, nothing of sensor 2.
         let diff = s.diff_for(&[(SensorId(1), 0)]);
-        let ids: Vec<(u32, u64)> =
-            diff.iter().map(|e| (e.id.sensor.as_u32(), e.id.seq)).collect();
+        let ids: Vec<(u32, u64)> = diff
+            .iter()
+            .map(|e| (e.id.sensor.as_u32(), e.id.seq))
+            .collect();
         assert_eq!(ids, vec![(1, 1), (2, 4)]);
         // Peer fully caught up → empty diff.
         assert!(s.diff_for(&[(SensorId(1), 1), (SensorId(2), 4)]).is_empty());
@@ -310,7 +315,10 @@ mod tests {
         let removed = s.prune_processed(SensorId(1), 9, Time::from_millis(5));
         assert_eq!(removed, 5);
         assert!(!s.seen(EventId::new(SensorId(1), 4)));
-        assert!(s.seen(EventId::new(SensorId(1), 5)), "recent events retained");
+        assert!(
+            s.seen(EventId::new(SensorId(1), 5)),
+            "recent events retained"
+        );
         // Unprocessed events are never collected regardless of age.
         let removed = s.prune_processed(SensorId(1), 6, Time::MAX);
         assert_eq!(removed, 2, "only seqs 5 and 6");

@@ -90,7 +90,12 @@ impl ActuatorDevice {
     /// Creates an actuator in `initial` state.
     #[must_use]
     pub fn new(actuator: ActuatorId, initial: ActuationState, probe: Arc<ActuatorProbe>) -> Self {
-        Self { actuator, state: initial, probe, applied_ids: Vec::new() }
+        Self {
+            actuator,
+            state: initial,
+            probe,
+            applied_ids: Vec::new(),
+        }
     }
 
     /// The actuator's platform identity.
@@ -102,9 +107,7 @@ impl ActuatorDevice {
     fn states_equal(a: ActuationState, b: ActuationState) -> bool {
         match (a, b) {
             (ActuationState::Switch(x), ActuationState::Switch(y)) => x == y,
-            (ActuationState::Level(x), ActuationState::Level(y)) => {
-                (x - y).abs() < f64::EPSILON
-            }
+            (ActuationState::Level(x), ActuationState::Level(y)) => (x - y).abs() < f64::EPSILON,
             (ActuationState::Pulse(x), ActuationState::Pulse(y)) => x == y,
             _ => false,
         }
@@ -126,18 +129,20 @@ impl Actor for ActuatorDevice {
 
         let already_applied = self.applied_ids.contains(&cmd.id);
         let applied = if already_applied {
-            self.probe.duplicates_suppressed.fetch_add(1, Ordering::SeqCst);
+            self.probe
+                .duplicates_suppressed
+                .fetch_add(1, Ordering::SeqCst);
             false
         } else {
             match cmd.kind {
                 CommandKind::Set(desired) => {
                     self.state = desired;
                     self.applied_ids.push(cmd.id);
-                    self.probe
-                        .effects
-                        .lock()
-                        .expect("probe lock")
-                        .push((ctx.now(), cmd.id, desired));
+                    self.probe.effects.lock().expect("probe lock").push((
+                        ctx.now(),
+                        cmd.id,
+                        desired,
+                    ));
                     *self.probe.state.lock().expect("probe lock") = desired;
                     true
                 }
@@ -145,15 +150,17 @@ impl Actor for ActuatorDevice {
                     if Self::states_equal(self.state, expected) {
                         self.state = desired;
                         self.applied_ids.push(cmd.id);
-                        self.probe
-                            .effects
-                            .lock()
-                            .expect("probe lock")
-                            .push((ctx.now(), cmd.id, desired));
+                        self.probe.effects.lock().expect("probe lock").push((
+                            ctx.now(),
+                            cmd.id,
+                            desired,
+                        ));
                         *self.probe.state.lock().expect("probe lock") = desired;
                         true
                     } else {
-                        self.probe.duplicates_suppressed.fetch_add(1, Ordering::SeqCst);
+                        self.probe
+                            .duplicates_suppressed
+                            .fetch_add(1, Ordering::SeqCst);
                         false
                     }
                 }
@@ -161,7 +168,11 @@ impl Actor for ActuatorDevice {
                 _ => false,
             }
         };
-        let ack = RadioFrame::ActuateAck { command: cmd.id, applied, state: self.state };
+        let ack = RadioFrame::ActuateAck {
+            command: cmd.id,
+            applied,
+            state: self.state,
+        };
         ctx.send(from, ack.to_payload());
     }
 }
@@ -194,10 +205,16 @@ mod tests {
                     }
                 }
                 ActorEvent::Message { payload, .. } => {
-                    if let Ok(RadioFrame::ActuateAck { command, applied, state }) =
-                        RadioFrame::from_bytes(&payload)
+                    if let Ok(RadioFrame::ActuateAck {
+                        command,
+                        applied,
+                        state,
+                    }) = RadioFrame::from_bytes(&payload)
                     {
-                        self.acks.lock().expect("lock").push((command, applied, state));
+                        self.acks
+                            .lock()
+                            .expect("lock")
+                            .push((command, applied, state));
                     }
                 }
             }
@@ -213,7 +230,9 @@ mod tests {
         )
     }
 
-    fn run_script(script: Vec<Command>) -> (Arc<ActuatorProbe>, Vec<(CommandId, bool, ActuationState)>) {
+    fn run_script(
+        script: Vec<Command>,
+    ) -> (Arc<ActuatorProbe>, Vec<(CommandId, bool, ActuationState)>) {
         let mut net = SimNet::new(SimConfig::with_seed(1));
         let probe = ActuatorProbe::new(ActuationState::Switch(false));
         let p = Arc::clone(&probe);
@@ -302,7 +321,11 @@ mod tests {
         assert_eq!(probe.duplicates_suppressed(), 1);
         assert!(acks[0].1);
         assert!(!acks[1].1);
-        assert_eq!(acks[1].2, ActuationState::Switch(true), "ack reports real state");
+        assert_eq!(
+            acks[1].2,
+            ActuationState::Switch(true),
+            "ack reports real state"
+        );
     }
 
     #[test]

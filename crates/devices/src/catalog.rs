@@ -258,10 +258,18 @@ mod tests {
         for e in survey() {
             match e.mode {
                 SensingMode::Poll => {
-                    assert!(e.poll_latency.is_some() && e.fig8_epoch.is_some(), "{}", e.name);
+                    assert!(
+                        e.poll_latency.is_some() && e.fig8_epoch.is_some(),
+                        "{}",
+                        e.name
+                    );
                 }
                 SensingMode::Push => {
-                    assert!(e.poll_latency.is_none() && e.fig8_epoch.is_none(), "{}", e.name);
+                    assert!(
+                        e.poll_latency.is_none() && e.fig8_epoch.is_none(),
+                        "{}",
+                        e.name
+                    );
                 }
             }
         }

@@ -50,13 +50,13 @@ impl Wire for RadioFrame {
     fn encoded_len(&self) -> usize {
         1 + match self {
             RadioFrame::Event(e) => e.encoded_len(),
-            RadioFrame::PollRequest { sensor, epoch } => {
-                sensor.encoded_len() + epoch.encoded_len()
-            }
+            RadioFrame::PollRequest { sensor, epoch } => sensor.encoded_len() + epoch.encoded_len(),
             RadioFrame::Actuate(c) => c.encoded_len(),
-            RadioFrame::ActuateAck { command, applied, state } => {
-                command.encoded_len() + applied.encoded_len() + state.encoded_len()
-            }
+            RadioFrame::ActuateAck {
+                command,
+                applied,
+                state,
+            } => command.encoded_len() + applied.encoded_len() + state.encoded_len(),
         }
     }
 
@@ -75,7 +75,11 @@ impl Wire for RadioFrame {
                 w.put_u8(2);
                 c.encode(w);
             }
-            RadioFrame::ActuateAck { command, applied, state } => {
+            RadioFrame::ActuateAck {
+                command,
+                applied,
+                state,
+            } => {
                 w.put_u8(3);
                 command.encode(w);
                 applied.encode(w);
@@ -97,7 +101,10 @@ impl Wire for RadioFrame {
                 applied: bool::decode(r)?,
                 state: ActuationState::decode(r)?,
             }),
-            tag => Err(WireError::InvalidTag { ty: "RadioFrame", tag }),
+            tag => Err(WireError::InvalidTag {
+                ty: "RadioFrame",
+                tag,
+            }),
         }
     }
 }
@@ -117,7 +124,10 @@ mod tests {
             EventKind::Motion,
             Time::from_millis(10),
         )));
-        roundtrip(&RadioFrame::PollRequest { sensor: SensorId(2), epoch: 17 });
+        roundtrip(&RadioFrame::PollRequest {
+            sensor: SensorId(2),
+            epoch: 17,
+        });
         roundtrip(&RadioFrame::Actuate(Command::new(
             CommandId::new(ProcessId(0), OperatorId(1), 3),
             ActuatorId(5),
@@ -144,7 +154,11 @@ mod tests {
             Payload::zeros(10_240),
             Time::ZERO,
         ));
-        assert!(small.encoded_len() < 32, "small frame is {}", small.encoded_len());
+        assert!(
+            small.encoded_len() < 32,
+            "small frame is {}",
+            small.encoded_len()
+        );
         assert!(large.encoded_len() > 10_240);
         assert_eq!(small.to_payload().len(), small.encoded_len());
     }
@@ -153,7 +167,10 @@ mod tests {
     fn junk_tag_rejected() {
         assert!(matches!(
             RadioFrame::from_bytes(&[9]),
-            Err(WireError::InvalidTag { ty: "RadioFrame", tag: 9 })
+            Err(WireError::InvalidTag {
+                ty: "RadioFrame",
+                tag: 9
+            })
         ));
     }
 }

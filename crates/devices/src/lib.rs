@@ -40,7 +40,5 @@ pub mod value;
 pub use actuator::{ActuatorDevice, ActuatorProbe};
 pub use frame::RadioFrame;
 pub use radio::{FloorPlan, Position, RadioTech};
-pub use sensor::{
-    EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor,
-};
+pub use sensor::{EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor};
 pub use value::ValueModel;

@@ -9,10 +9,8 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// A low-power wireless technology used by off-the-shelf devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RadioTech {
     /// Z-Wave: ~40 m range, mesh multicast to all in-range peers.
     ZWave,
@@ -50,7 +48,7 @@ impl RadioTech {
 }
 
 /// A point on the home's 2-D floor plan, in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Position {
     /// East–west coordinate.
     pub x: f64,
@@ -134,8 +132,7 @@ impl FloorPlan {
     /// Whether `host` is within radio range of a `tech` device at `device`.
     #[must_use]
     pub fn in_range(&self, device: PlacementId, host: PlacementId, tech: RadioTech) -> bool {
-        let d = self.positions[device.0 as usize]
-            .distance_to(self.positions[host.0 as usize]);
+        let d = self.positions[device.0 as usize].distance_to(self.positions[host.0 as usize]);
         d <= tech.range_meters()
     }
 
@@ -143,7 +140,11 @@ impl FloorPlan {
     /// `1 - (1-ambient) * (1-obstruction)`.
     #[must_use]
     pub fn link_loss(&self, device: PlacementId, host: PlacementId) -> f64 {
-        let key = if device <= host { (device, host) } else { (host, device) };
+        let key = if device <= host {
+            (device, host)
+        } else {
+            (host, device)
+        };
         let obstruction = self.obstructions.get(&key).copied().unwrap_or(0.0);
         1.0 - (1.0 - self.ambient_loss) * (1.0 - obstruction)
     }

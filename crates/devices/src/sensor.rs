@@ -133,9 +133,20 @@ impl PushSensor {
         probe: Arc<EmissionProbe>,
     ) -> Self {
         if let EmissionSchedule::Script(times) = &schedule {
-            debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "script must be sorted");
+            debug_assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "script must be sorted"
+            );
         }
-        Self { sensor, payload, schedule, targets, probe, next_seq: 0, script_idx: 0 }
+        Self {
+            sensor,
+            payload,
+            schedule,
+            targets,
+            probe,
+            next_seq: 0,
+            script_idx: 0,
+        }
     }
 
     /// The sensor's platform identity.
@@ -272,7 +283,14 @@ impl PollSensor {
         poll_latency: Duration,
         probe: Arc<PollProbe>,
     ) -> Self {
-        Self { sensor, value, poll_latency, probe, busy_with: None, next_seq: 0 }
+        Self {
+            sensor,
+            value,
+            poll_latency,
+            probe,
+            busy_with: None,
+            next_seq: 0,
+        }
     }
 
     /// The sensor's platform identity.
@@ -314,7 +332,9 @@ impl Actor for PollSensor {
                     ctx.set_timer(self.poll_latency.mul_f64(factor), TOKEN_POLL_DONE);
                 }
             }
-            ActorEvent::Timer { token: TOKEN_POLL_DONE } => {
+            ActorEvent::Timer {
+                token: TOKEN_POLL_DONE,
+            } => {
                 let Some((requester, epoch)) = self.busy_with.take() else {
                     return;
                 };
@@ -322,13 +342,9 @@ impl Actor for PollSensor {
                 let value = self.value.sample(now, ctx.rng());
                 let id = EventId::new(self.sensor, self.next_seq);
                 self.next_seq += 1;
-                let event = Event::with_payload(
-                    id,
-                    EventKind::Reading,
-                    Payload::Scalar(value),
-                    now,
-                )
-                .in_epoch(epoch);
+                let event =
+                    Event::with_payload(id, EventKind::Reading, Payload::Scalar(value), now)
+                        .in_epoch(epoch);
                 self.probe.answered.fetch_add(1, Ordering::SeqCst);
                 ctx.send(requester, RadioFrame::Event(event).to_payload());
             }
@@ -364,7 +380,9 @@ mod tests {
         let events = Arc::new(Mutex::new(Vec::new()));
         let e = Arc::clone(&events);
         let id = net.add_actor("collector", ActorClass::Process, move || {
-            Box::new(Collector { events: Arc::clone(&e) })
+            Box::new(Collector {
+                events: Arc::clone(&e),
+            })
         });
         (id, events)
     }
@@ -409,7 +427,9 @@ mod tests {
             Box::new(PushSensor::new(
                 SensorId(2),
                 PayloadSpec::KindOnly(EventKind::Motion),
-                EmissionSchedule::Poisson { mean: Duration::from_secs(1) },
+                EmissionSchedule::Poisson {
+                    mean: Duration::from_secs(1),
+                },
                 vec![proc_a],
                 Arc::clone(&p),
             ))
@@ -454,7 +474,10 @@ mod tests {
         net.add_actor("camera", ActorClass::Device, move || {
             Box::new(PushSensor::new(
                 SensorId(4),
-                PayloadSpec::Blob { kind: EventKind::Image, len: 10_240 },
+                PayloadSpec::Blob {
+                    kind: EventKind::Image,
+                    len: 10_240,
+                },
                 EmissionSchedule::Periodic(Duration::from_millis(500)),
                 vec![proc_a],
                 Arc::clone(&p),
@@ -599,8 +622,10 @@ mod tests {
             fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
                 if matches!(event, ActorEvent::Start) {
                     // Wrong sensor id.
-                    let frame =
-                        RadioFrame::PollRequest { sensor: SensorId(999), epoch: 0 };
+                    let frame = RadioFrame::PollRequest {
+                        sensor: SensorId(999),
+                        epoch: 0,
+                    };
                     ctx.send(self.target, frame.to_payload());
                     // Corrupt bytes.
                     ctx.send(self.target, bytes::Bytes::from_static(&[0xff, 0xff]));
@@ -608,7 +633,9 @@ mod tests {
             }
         }
         net.add_actor("junk", ActorClass::Process, move || {
-            Box::new(Junk { target: sensor_actor })
+            Box::new(Junk {
+                target: sensor_actor,
+            })
         });
         net.run_until(Time::from_secs(1));
         assert_eq!(probe.received(), 0);

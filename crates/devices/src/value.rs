@@ -42,40 +42,67 @@ impl ValueModel {
     /// A typical indoor-temperature model: random walk around 21 °C.
     #[must_use]
     pub fn indoor_temperature() -> Self {
-        ValueModel::RandomWalk { value: 21.0, step: 0.2, min: 15.0, max: 30.0 }
+        ValueModel::RandomWalk {
+            value: 21.0,
+            step: 0.2,
+            min: 15.0,
+            max: 30.0,
+        }
     }
 
     /// A typical relative-humidity model: random walk around 45 %.
     #[must_use]
     pub fn humidity() -> Self {
-        ValueModel::RandomWalk { value: 45.0, step: 1.0, min: 20.0, max: 80.0 }
+        ValueModel::RandomWalk {
+            value: 45.0,
+            step: 1.0,
+            min: 20.0,
+            max: 80.0,
+        }
     }
 
     /// A luminance model: 12-hour sine between dark and bright.
     #[must_use]
     pub fn luminance() -> Self {
-        ValueModel::Sine { base: 400.0, amplitude: 380.0, period_secs: 12.0 * 3600.0 }
+        ValueModel::Sine {
+            base: 400.0,
+            amplitude: 380.0,
+            period_secs: 12.0 * 3600.0,
+        }
     }
 
     /// A UV-index model: 24-hour sine, clamped non-negative by `sample`.
     #[must_use]
     pub fn uv_index() -> Self {
-        ValueModel::Sine { base: 2.0, amplitude: 3.0, period_secs: 24.0 * 3600.0 }
+        ValueModel::Sine {
+            base: 2.0,
+            amplitude: 3.0,
+            period_secs: 24.0 * 3600.0,
+        }
     }
 
     /// Draws the next reading at `now`.
     pub fn sample(&mut self, now: Time, rng: &mut StdRng) -> f64 {
         match self {
             ValueModel::Constant(v) => *v,
-            ValueModel::RandomWalk { value, step, min, max } => {
+            ValueModel::RandomWalk {
+                value,
+                step,
+                min,
+                max,
+            } => {
                 let delta = rng.gen_range(-*step..=*step);
                 *value = (*value + delta).clamp(*min, *max);
                 *value
             }
-            ValueModel::Sine { base, amplitude, period_secs } => {
+            ValueModel::Sine {
+                base,
+                amplitude,
+                period_secs,
+            } => {
                 let t = now.as_secs_f64();
-                let raw = *base
-                    + *amplitude * (2.0 * std::f64::consts::PI * t / *period_secs).sin();
+                let raw =
+                    *base + *amplitude * (2.0 * std::f64::consts::PI * t / *period_secs).sin();
                 raw.max(0.0)
             }
         }
@@ -98,7 +125,12 @@ mod tests {
 
     #[test]
     fn random_walk_stays_bounded_and_moves_slowly() {
-        let mut m = ValueModel::RandomWalk { value: 21.0, step: 0.5, min: 15.0, max: 30.0 };
+        let mut m = ValueModel::RandomWalk {
+            value: 21.0,
+            step: 0.5,
+            min: 15.0,
+            max: 30.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut prev = 21.0;
         for i in 0..10_000 {
@@ -111,7 +143,11 @@ mod tests {
 
     #[test]
     fn sine_cycles_and_clamps_at_zero() {
-        let mut m = ValueModel::Sine { base: 0.5, amplitude: 2.0, period_secs: 100.0 };
+        let mut m = ValueModel::Sine {
+            base: 0.5,
+            amplitude: 2.0,
+            period_secs: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let peak = m.sample(Time::from_secs(25), &mut rng); // sin = 1
         let trough = m.sample(Time::from_secs(75), &mut rng); // sin = -1

@@ -102,7 +102,12 @@ impl fmt::Debug for Context<'_> {
 
 impl<'a> Context<'a> {
     pub(crate) fn new(self_id: ActorId, now: Time, rng: &'a mut StdRng) -> Self {
-        Self { self_id, now, rng, effects: Vec::new() }
+        Self {
+            self_id,
+            now,
+            rng,
+            effects: Vec::new(),
+        }
     }
 
     /// This actor's own identity.
@@ -164,7 +169,10 @@ mod tests {
         ctx.cancel_timer(7);
         ctx.halt();
         assert_eq!(ctx.effects.len(), 4);
-        assert!(matches!(ctx.effects[0], Effect::Send { to: ActorId(1), .. }));
+        assert!(matches!(
+            ctx.effects[0],
+            Effect::Send { to: ActorId(1), .. }
+        ));
         assert!(matches!(ctx.effects[1], Effect::SetTimer { token: 7, .. }));
         assert!(matches!(ctx.effects[2], Effect::CancelTimer { token: 7 }));
         assert!(matches!(ctx.effects[3], Effect::Halt));

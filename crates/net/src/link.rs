@@ -78,7 +78,10 @@ impl LinkConfig {
     /// A severed link (out of range / different radio technology).
     #[must_use]
     pub fn severed() -> Self {
-        Self { blocked: true, ..Self::radio() }
+        Self {
+            blocked: true,
+            ..Self::radio()
+        }
     }
 
     /// Latency for a message of `bytes` payload bytes.
@@ -272,8 +275,8 @@ impl Topology {
         }
         let mut at = now + cfg.latency_for(bytes);
         // FIFO ordering for the reliable inter-process mesh.
-        let fifo = self.class_of(from) == ActorClass::Process
-            && self.class_of(to) == ActorClass::Process;
+        let fifo =
+            self.class_of(from) == ActorClass::Process && self.class_of(to) == ActorClass::Process;
         if fifo {
             let last = self.last_delivery.entry((from, to)).or_insert(Time::ZERO);
             if at <= *last {
@@ -341,12 +344,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut delivered = 0;
         for _ in 0..10_000 {
-            if matches!(t.route(&mut rng, Time::ZERO, d, p1, 4, true), Verdict::Deliver(_)) {
+            if matches!(
+                t.route(&mut rng, Time::ZERO, d, p1, 4, true),
+                Verdict::Deliver(_)
+            ) {
                 delivered += 1;
             }
         }
         // 50% ± 3% over 10k trials.
-        assert!((4_700..=5_300).contains(&delivered), "delivered {delivered}");
+        assert!(
+            (4_700..=5_300).contains(&delivered),
+            "delivered {delivered}"
+        );
     }
 
     #[test]

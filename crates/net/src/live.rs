@@ -33,15 +33,13 @@ use crate::link::{ActorClass, DropReason};
 use crate::metrics::NetMetrics;
 
 /// Configuration of a live run.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LiveConfig {
     /// Base seed for per-actor RNGs (live runs are still not
     /// deterministic; the seed only fixes the loss coin-flips given an
     /// ordering).
     pub seed: u64,
 }
-
 
 enum ThreadInput {
     Event(ActorEvent),
@@ -69,9 +67,7 @@ impl SharedTopology {
         if !self.partition.is_empty() {
             // Actors absent from every group are unaffected (the
             // partition severs the WiFi mesh, not device radios).
-            if let (Some(ga), Some(gb)) =
-                (self.partition.get(&from), self.partition.get(&to))
-            {
+            if let (Some(ga), Some(gb)) = (self.partition.get(&from), self.partition.get(&to)) {
                 if ga != gb {
                     return Err(DropReason::Blocked);
                 }
@@ -374,7 +370,10 @@ fn actor_thread<F>(
                         instance = None;
                     }
                 } else {
-                    router.metrics.lock().record_drop(DropReason::DestinationDown);
+                    router
+                        .metrics
+                        .lock()
+                        .record_drop(DropReason::DestinationDown);
                 }
             }
             Ok(ThreadInput::Crash) => {
@@ -414,7 +413,11 @@ fn run_handler(
             Effect::Send { to, payload } => router.route(rng, id, to, payload),
             Effect::SetTimer { token, after } => {
                 let gen = timer_gens.get(&token).copied().unwrap_or(0);
-                timers.push(PendingTimer { deadline: router.now() + after, token, gen });
+                timers.push(PendingTimer {
+                    deadline: router.now() + after,
+                    token,
+                    gen,
+                });
             }
             Effect::CancelTimer { token } => {
                 *timer_gens.entry(token).or_insert(0) += 1;
@@ -479,7 +482,10 @@ mod tests {
         let replies = Arc::new(AtomicU64::new(0));
         let r = Arc::clone(&replies);
         net.add_actor("ping", ActorClass::Process, move || {
-            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+            Box::new(Pinger {
+                peer: echo,
+                replies: Arc::clone(&r),
+            })
         });
         assert!(
             wait_until(2_000, || replies.load(Ordering::SeqCst) >= 3),
@@ -497,13 +503,20 @@ mod tests {
         let replies = Arc::new(AtomicU64::new(0));
         let r = Arc::clone(&replies);
         let ping = net.add_actor("ping", ActorClass::Process, move || {
-            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+            Box::new(Pinger {
+                peer: echo,
+                replies: Arc::clone(&r),
+            })
         });
         net.set_blocked(ping, echo, true);
         std::thread::sleep(std::time::Duration::from_millis(100));
         let before = replies.load(Ordering::SeqCst);
         std::thread::sleep(std::time::Duration::from_millis(100));
-        assert_eq!(replies.load(Ordering::SeqCst), before, "blocked link leaked");
+        assert_eq!(
+            replies.load(Ordering::SeqCst),
+            before,
+            "blocked link leaked"
+        );
         net.set_blocked(ping, echo, false);
         assert!(
             wait_until(2_000, || replies.load(Ordering::SeqCst) > before),
@@ -519,7 +532,10 @@ mod tests {
         let replies = Arc::new(AtomicU64::new(0));
         let r = Arc::clone(&replies);
         net.add_actor("ping", ActorClass::Process, move || {
-            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+            Box::new(Pinger {
+                peer: echo,
+                replies: Arc::clone(&r),
+            })
         });
         assert!(wait_until(2_000, || replies.load(Ordering::SeqCst) >= 1));
         net.crash(echo);
@@ -527,7 +543,10 @@ mod tests {
         let during = replies.load(Ordering::SeqCst);
         std::thread::sleep(std::time::Duration::from_millis(100));
         // Allow at most a couple of in-flight replies to straggle in.
-        assert!(replies.load(Ordering::SeqCst) <= during + 2, "crashed echo kept replying");
+        assert!(
+            replies.load(Ordering::SeqCst) <= during + 2,
+            "crashed echo kept replying"
+        );
         net.recover(echo);
         let resumed = replies.load(Ordering::SeqCst);
         assert!(
@@ -544,7 +563,10 @@ mod tests {
         let replies = Arc::new(AtomicU64::new(0));
         let r = Arc::clone(&replies);
         let ping = net.add_actor("ping", ActorClass::Process, move || {
-            Box::new(Pinger { peer: echo, replies: Arc::clone(&r) })
+            Box::new(Pinger {
+                peer: echo,
+                replies: Arc::clone(&r),
+            })
         });
         net.set_partition(&[vec![ping], vec![echo]]);
         std::thread::sleep(std::time::Duration::from_millis(150));

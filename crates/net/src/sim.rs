@@ -41,7 +41,10 @@ impl SimConfig {
     /// Configuration with the given seed and default limits.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, max_events_per_run: 50_000_000 }
+        Self {
+            seed,
+            max_events_per_run: 50_000_000,
+        }
     }
 }
 
@@ -80,10 +83,23 @@ impl std::fmt::Debug for Slot {
 
 #[derive(Debug)]
 enum Pending {
-    Deliver { from: ActorId, to: ActorId, to_inc: u32, payload: Bytes },
-    Timer { actor: ActorId, inc: u32, token: u64, gen: u64 },
+    Deliver {
+        from: ActorId,
+        to: ActorId,
+        to_inc: u32,
+        payload: Bytes,
+    },
+    Timer {
+        actor: ActorId,
+        inc: u32,
+        token: u64,
+        gen: u64,
+    },
     Control(Control),
-    Start { actor: ActorId, inc: u32 },
+    Start {
+        actor: ActorId,
+        inc: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -92,8 +108,16 @@ enum Control {
     Recover(ActorId),
     Partition(Vec<Vec<ActorId>>),
     Heal,
-    SetLoss { from: ActorId, to: ActorId, loss: f64 },
-    SetBlocked { from: ActorId, to: ActorId, blocked: bool },
+    SetLoss {
+        from: ActorId,
+        to: ActorId,
+        loss: f64,
+    },
+    SetBlocked {
+        from: ActorId,
+        to: ActorId,
+        blocked: bool,
+    },
 }
 
 /// Heap entry ordered by (time, sequence number); the sequence number
@@ -258,7 +282,10 @@ impl SimNet {
 
     /// Schedules blocking/unblocking of a directed link at `at`.
     pub fn set_blocked_at(&mut self, at: Time, from: ActorId, to: ActorId, blocked: bool) {
-        self.push(at, Pending::Control(Control::SetBlocked { from, to, blocked }));
+        self.push(
+            at,
+            Pending::Control(Control::SetBlocked { from, to, blocked }),
+        );
     }
 
     /// Runs the simulation until the queue is exhausted or virtual time
@@ -308,21 +335,36 @@ impl SimNet {
                     self.fire(actor, ActorEvent::Start);
                 }
             }
-            Pending::Deliver { from, to, to_inc, payload } => {
+            Pending::Deliver {
+                from,
+                to,
+                to_inc,
+                payload,
+            } => {
                 let slot = &self.slots[to.0 as usize];
                 if slot.instance.is_none() || slot.incarnation != to_inc {
                     self.metrics.record_drop(DropReason::DestinationDown);
                     self.trace.record(
                         self.now,
-                        TraceEvent::Dropped { from, to, reason: DropReason::DestinationDown },
+                        TraceEvent::Dropped {
+                            from,
+                            to,
+                            reason: DropReason::DestinationDown,
+                        },
                     );
                     return;
                 }
                 self.metrics.record_delivery();
-                self.trace.record(self.now, TraceEvent::Delivered { from, to });
+                self.trace
+                    .record(self.now, TraceEvent::Delivered { from, to });
                 self.fire(to, ActorEvent::Message { from, payload });
             }
-            Pending::Timer { actor, inc, token, gen } => {
+            Pending::Timer {
+                actor,
+                inc,
+                token,
+                gen,
+            } => {
                 let slot = &self.slots[actor.0 as usize];
                 if slot.instance.is_none() || slot.incarnation != inc {
                     return;
@@ -402,7 +444,11 @@ impl SimNet {
                 self.metrics.record_send(actor, payload.len(), wifi);
                 self.trace.record(
                     self.now,
-                    TraceEvent::Sent { from: actor, to, bytes: payload.len() },
+                    TraceEvent::Sent {
+                        from: actor,
+                        to,
+                        bytes: payload.len(),
+                    },
                 );
                 let verdict = self.topology.route(
                     &mut self.rng,
@@ -415,13 +461,25 @@ impl SimNet {
                 match verdict {
                     Verdict::Deliver(at) => {
                         let to_inc = self.slots[to.0 as usize].incarnation;
-                        self.push(at, Pending::Deliver { from: actor, to, to_inc, payload });
+                        self.push(
+                            at,
+                            Pending::Deliver {
+                                from: actor,
+                                to,
+                                to_inc,
+                                payload,
+                            },
+                        );
                     }
                     Verdict::Drop(reason) => {
                         self.metrics.record_drop(reason);
                         self.trace.record(
                             self.now,
-                            TraceEvent::Dropped { from: actor, to, reason },
+                            TraceEvent::Dropped {
+                                from: actor,
+                                to,
+                                reason,
+                            },
                         );
                     }
                 }
@@ -430,7 +488,15 @@ impl SimNet {
                 let slot = &self.slots[actor.0 as usize];
                 let gen = slot.timer_gens.get(&token).copied().unwrap_or(0);
                 let inc = slot.incarnation;
-                self.push(self.now + after, Pending::Timer { actor, inc, token, gen });
+                self.push(
+                    self.now + after,
+                    Pending::Timer {
+                        actor,
+                        inc,
+                        token,
+                        gen,
+                    },
+                );
             }
             Effect::CancelTimer { token } => {
                 let slot = &mut self.slots[actor.0 as usize];
@@ -614,7 +680,9 @@ mod tests {
                 }
             }
         }
-        net.add_actor("tx", ActorClass::Process, move || Box::new(Spammer { to: rx }));
+        net.add_actor("tx", ActorClass::Process, move || {
+            Box::new(Spammer { to: rx })
+        });
         net.crash_at(rx, Time::from_millis(450));
         net.recover_at(rx, Time::from_millis(850));
         net.run_until(Time::from_secs(1));
@@ -665,7 +733,9 @@ mod tests {
                 }
             }
         }
-        let tx = net.add_actor("tx", ActorClass::Process, move || Box::new(Spammer { to: rx }));
+        let tx = net.add_actor("tx", ActorClass::Process, move || {
+            Box::new(Spammer { to: rx })
+        });
         net.partition_at(Time::from_millis(250), vec![vec![tx], vec![rx]]);
         net.heal_at(Time::from_millis(650));
         net.run_until(Time::from_secs(1));
@@ -697,7 +767,9 @@ mod tests {
                 }
             }
         }
-        let tx = net.add_actor("tx", ActorClass::Device, move || Box::new(Spammer { to: rx }));
+        let tx = net.add_actor("tx", ActorClass::Device, move || {
+            Box::new(Spammer { to: rx })
+        });
         net.set_loss_at(Time::from_millis(500), tx, rx, 1.0);
         net.run_until(Time::from_secs(1));
         let got = msgs.load(Ordering::SeqCst);
@@ -729,13 +801,19 @@ mod tests {
                     }
                 }
             }
-            let tx = net.add_actor("tx", ActorClass::Device, move || Box::new(Spammer { to: rx }));
+            let tx = net.add_actor("tx", ActorClass::Device, move || {
+                Box::new(Spammer { to: rx })
+            });
             net.topology_mut().set_loss(tx, rx, 0.3);
             net.run_until(Time::from_secs(2));
             (msgs.load(Ordering::SeqCst), net.metrics().total_drops())
         }
         assert_eq!(run(42), run(42));
-        assert_ne!(run(42).0, run(43).0, "different seeds should differ (w.h.p.)");
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seeds should differ (w.h.p.)"
+        );
     }
 
     #[test]
@@ -748,8 +826,7 @@ mod tests {
         });
         assert_eq!(net.name_of(a), "hub");
         assert_eq!(net.topology().class_of(a), ActorClass::Process);
-        net.topology_mut()
-            .set_link(a, a, LinkConfig::severed());
+        net.topology_mut().set_link(a, a, LinkConfig::severed());
         assert!(net.topology().link(a, a).blocked);
     }
 

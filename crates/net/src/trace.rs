@@ -94,12 +94,10 @@ impl Trace {
     }
 
     /// Iterates over entries within `[from, to)`.
-    pub fn between(
-        &self,
-        from: Time,
-        to: Time,
-    ) -> impl Iterator<Item = &(Time, TraceEvent)> {
-        self.entries.iter().filter(move |(t, _)| *t >= from && *t < to)
+    pub fn between(&self, from: Time, to: Time) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.entries
+            .iter()
+            .filter(move |(t, _)| *t >= from && *t < to)
     }
 
     /// Discards all recorded entries.
@@ -124,11 +122,21 @@ mod tests {
     fn enabled_trace_records_and_filters() {
         let mut tr = Trace::new();
         tr.set_enabled(true);
-        tr.record(Time::from_secs(1), TraceEvent::Crashed { actor: ActorId(0) });
-        tr.record(Time::from_secs(2), TraceEvent::Recovered { actor: ActorId(0) });
+        tr.record(
+            Time::from_secs(1),
+            TraceEvent::Crashed { actor: ActorId(0) },
+        );
+        tr.record(
+            Time::from_secs(2),
+            TraceEvent::Recovered { actor: ActorId(0) },
+        );
         tr.record(
             Time::from_secs(3),
-            TraceEvent::Sent { from: ActorId(0), to: ActorId(1), bytes: 4 },
+            TraceEvent::Sent {
+                from: ActorId(0),
+                to: ActorId(1),
+                bytes: 4,
+            },
         );
         assert_eq!(tr.entries().len(), 3);
         let window: Vec<_> = tr.between(Time::from_secs(2), Time::from_secs(3)).collect();

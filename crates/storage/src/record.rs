@@ -1,0 +1,242 @@
+//! WAL record types and the on-disk frame format.
+//!
+//! Every log entry is a *frame*:
+//!
+//! ```text
+//! [payload_len: varint] [crc32(payload): 4 bytes LE] [payload]
+//! ```
+//!
+//! where `payload` is the S1 wire encoding of a [`WalRecord`]. The
+//! frame reuses the same LEB128 varint scheme as the inter-process
+//! codec, so the log shares one serialization stack with the network
+//! (paper §7: "custom serialization for events and other messages").
+//!
+//! Decoding distinguishes a *torn* frame (the buffer ends mid-frame —
+//! the expected shape after a crash during an append) from a *corrupt*
+//! one (checksum or structural mismatch — bit rot or a torn write that
+//! landed mid-stream). Recovery treats both as the end of the durable
+//! prefix.
+
+use rivulet_types::wire::{varint_len, Wire, WireError, WireReader, WireWriter};
+use rivulet_types::{Event, SensorId, Time};
+
+use crate::crc::crc32;
+
+/// Bytes occupied by the checksum field of a frame.
+pub const FRAME_CRC_BYTES: usize = 4;
+
+const TAG_EVENT: u8 = 0;
+const TAG_CHECKPOINT: u8 = 1;
+
+/// A snapshot of operator progress: every event at or below these
+/// per-sensor watermarks has been fully processed by the local
+/// application runtime, so recovery may skip replaying it and
+/// compaction may drop segments it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Virtual time at which the checkpoint was taken.
+    pub at: Time,
+    /// Highest processed sequence number per sensor.
+    pub processed: Vec<(SensorId, u64)>,
+}
+
+impl Wire for Checkpoint {
+    fn encoded_len(&self) -> usize {
+        self.at.encoded_len() + self.processed.encoded_len()
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        self.at.encode(w);
+        self.processed.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            at: Time::decode(r)?,
+            processed: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One durable log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A replicated sensor event (appended before it is acked or
+    /// delivered).
+    Event(Event),
+    /// An operator-progress snapshot.
+    Checkpoint(Checkpoint),
+}
+
+impl Wire for WalRecord {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WalRecord::Event(ev) => ev.encoded_len(),
+            WalRecord::Checkpoint(cp) => cp.encoded_len(),
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WalRecord::Event(ev) => {
+                w.put_u8(TAG_EVENT);
+                ev.encode(w);
+            }
+            WalRecord::Checkpoint(cp) => {
+                w.put_u8(TAG_CHECKPOINT);
+                cp.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            TAG_EVENT => Ok(WalRecord::Event(Event::decode(r)?)),
+            TAG_CHECKPOINT => Ok(WalRecord::Checkpoint(Checkpoint::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                ty: "WalRecord",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the frame was complete (torn tail).
+    Torn,
+    /// The frame is structurally complete but fails its checksum or
+    /// does not decode to a record.
+    Corrupt,
+}
+
+/// Encodes `record` as one frame.
+#[must_use]
+pub fn encode_frame(record: &WalRecord) -> bytes::Bytes {
+    let payload_len = record.encoded_len();
+    let mut w =
+        WireWriter::with_capacity(varint_len(payload_len as u64) + FRAME_CRC_BYTES + payload_len);
+    let payload = record.to_bytes();
+    debug_assert_eq!(payload.len(), payload_len);
+    w.put_varint(payload_len as u64);
+    w.put_slice(&crc32(&payload).to_le_bytes());
+    w.put_slice(&payload);
+    w.into_bytes()
+}
+
+/// Decodes the frame at the start of `buf`, returning the record and
+/// the number of bytes the frame occupies.
+///
+/// # Errors
+///
+/// [`FrameError::Torn`] when `buf` ends mid-frame, [`FrameError::Corrupt`]
+/// when the frame is complete but invalid.
+pub fn decode_frame(buf: &[u8]) -> Result<(WalRecord, usize), FrameError> {
+    let mut r = WireReader::new(buf);
+    let len = match r.get_len() {
+        Ok(len) => len,
+        Err(WireError::UnexpectedEof { .. }) => return Err(FrameError::Torn),
+        Err(_) => return Err(FrameError::Corrupt),
+    };
+    let Ok(crc_bytes) = r.get_slice(FRAME_CRC_BYTES) else {
+        return Err(FrameError::Torn);
+    };
+    let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+    let Ok(payload) = r.get_slice(len) else {
+        return Err(FrameError::Torn);
+    };
+    if crc32(payload) != expected {
+        return Err(FrameError::Corrupt);
+    }
+    let record = WalRecord::from_bytes(payload).map_err(|_| FrameError::Corrupt)?;
+    Ok((record, buf.len() - r.remaining()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rivulet_types::{EventId, EventKind, Payload};
+
+    fn event(seq: u64) -> Event {
+        Event {
+            id: EventId::new(SensorId(3), seq),
+            kind: EventKind::Reading,
+            payload: Payload::Scalar(21.5),
+            emitted_at: Time::from_millis(seq * 10),
+            epoch: None,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let rec = WalRecord::Event(event(7));
+        let frame = encode_frame(&rec);
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let rec = WalRecord::Checkpoint(Checkpoint {
+            at: Time::from_secs(30),
+            processed: vec![(SensorId(1), 42), (SensorId(9), 0)],
+        });
+        let frame = encode_frame(&rec);
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn consecutive_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for seq in 0..5 {
+            buf.extend_from_slice(&encode_frame(&WalRecord::Event(event(seq))));
+        }
+        let mut off = 0;
+        let mut seqs = Vec::new();
+        while off < buf.len() {
+            let (rec, n) = decode_frame(&buf[off..]).unwrap();
+            if let WalRecord::Event(ev) = rec {
+                seqs.push(ev.id.seq);
+            }
+            off += n;
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_truncation_point_is_torn_or_corrupt() {
+        let frame = encode_frame(&WalRecord::Event(event(1)));
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut]).unwrap_err();
+            // A truncated frame must never decode; the specific error
+            // depends on where the cut lands.
+            assert!(matches!(err, FrameError::Torn | FrameError::Corrupt));
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_corrupt() {
+        let frame = encode_frame(&WalRecord::Event(event(2)));
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), FrameError::Corrupt);
+    }
+
+    #[test]
+    fn bit_flip_in_crc_is_corrupt() {
+        let frame = encode_frame(&WalRecord::Event(event(2)));
+        let mut bad = frame.to_vec();
+        bad[1] ^= 0x80; // first CRC byte (offset 0 is the 1-byte len varint)
+        assert_eq!(decode_frame(&bad).unwrap_err(), FrameError::Corrupt);
+    }
+
+    #[test]
+    fn empty_buffer_is_torn() {
+        assert_eq!(decode_frame(&[]).unwrap_err(), FrameError::Torn);
+    }
+}

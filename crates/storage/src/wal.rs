@@ -1,0 +1,581 @@
+//! Segmented write-ahead log with group commit, checkpoints, and
+//! prefix compaction.
+//!
+//! The WAL is the durability layer under Gapless delivery: a process
+//! appends every newly-stored event *before* acking it to the ring or
+//! delivering it to applications, so a crash can never lose an event
+//! the rest of the home believes this replica holds.
+//!
+//! # Group commit
+//!
+//! Frames accumulate in an in-memory buffer and reach the backend in
+//! one `append` + `sync` pair per flush. [`FlushPolicy`] picks the
+//! trade-off: `PerEvent` pays one fsync per event (lowest loss window,
+//! lowest throughput), `EveryN` amortizes the fsync over a batch, and
+//! `EveryInterval` leaves flushing to a caller-armed timer.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] scans segments in ascending id order and replays
+//! frames until the first torn or corrupt one. Everything before that
+//! point is the *durable prefix* and is returned in [`Recovered`];
+//! everything after it — the rest of that segment and any later
+//! segments — is discarded (truncated/deleted) so subsequent appends
+//! continue a clean log.
+//!
+//! # Compaction
+//!
+//! A [`Checkpoint`] records per-sensor processed watermarks. A segment
+//! older than the newest checkpoint whose events are all at or below
+//! those watermarks can never be needed again and is deleted by
+//! [`Wal::compact`]. Compaction only removes a contiguous prefix, so
+//! the log on disk always remains a suffix of the logical log.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rivulet_types::{Duration, Event, SensorId};
+
+use crate::backend::{Result, SegmentId, StorageBackend};
+use crate::record::{decode_frame, encode_frame, Checkpoint, WalRecord};
+
+/// When buffered frames are pushed to the backend and fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush (and fsync) after every appended event.
+    PerEvent,
+    /// Flush once `n` events are buffered. The owner should still
+    /// flush on a timer or tick so a quiet period cannot strand a
+    /// partial batch.
+    EveryN(usize),
+    /// Never flush from [`Wal::append_event`]; the owner arms a timer
+    /// with this period and calls [`Wal::flush`] when it fires.
+    EveryInterval(Duration),
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Group-commit policy.
+    pub flush_policy: FlushPolicy,
+    /// Rotate to a fresh segment once the tail would exceed this size.
+    pub segment_max_bytes: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            flush_policy: FlushPolicy::PerEvent,
+            segment_max_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Counters exposed for tests, benchmarks, and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalMetrics {
+    /// Events appended (buffered) since open.
+    pub appends: u64,
+    /// Flushes (backend append + sync pairs) issued.
+    pub flushes: u64,
+    /// Bytes handed to the backend.
+    pub bytes_flushed: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Segments created by rotation (not counting the initial one).
+    pub segments_created: u64,
+    /// Segments deleted by compaction.
+    pub segments_deleted: u64,
+}
+
+/// What [`Wal::open`] reconstructed from the durable prefix.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every event in the durable prefix, in append order.
+    pub events: Vec<Event>,
+    /// The newest checkpoint in the durable prefix, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Bytes past the durable prefix that were discarded (torn tail,
+    /// corrupt frames, and any segments beyond the first bad frame).
+    pub dropped_bytes: usize,
+}
+
+/// Per-segment summary used to decide compaction eligibility.
+#[derive(Debug, Default, Clone)]
+struct SegmentIndex {
+    /// Highest event sequence per sensor flushed into the segment.
+    max_seq: HashMap<SensorId, u64>,
+}
+
+/// A segmented write-ahead log over a [`StorageBackend`].
+#[derive(Debug)]
+pub struct Wal {
+    backend: Arc<dyn StorageBackend>,
+    options: WalOptions,
+    tail: SegmentId,
+    tail_bytes: usize,
+    pending: Vec<u8>,
+    pending_events: usize,
+    pending_index: SegmentIndex,
+    index: BTreeMap<SegmentId, SegmentIndex>,
+    latest_checkpoint_segment: Option<SegmentId>,
+    metrics: WalMetrics,
+}
+
+impl Wal {
+    /// Opens the log on `backend`, recovering the durable prefix and
+    /// preparing the tail segment for new appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        options: WalOptions,
+    ) -> Result<(Self, Recovered)> {
+        let segments = backend.list_segments()?;
+        let mut recovered = Recovered::default();
+        let mut index: BTreeMap<SegmentId, SegmentIndex> = BTreeMap::new();
+        let mut latest_checkpoint_segment = None;
+        let mut tail: Option<(SegmentId, usize)> = None;
+        let mut stop: Option<(SegmentId, usize)> = None;
+
+        'scan: for &seg in &segments {
+            let data = backend.read_segment(seg)?;
+            let entry = index.entry(seg).or_default();
+            let mut offset = 0;
+            while offset < data.len() {
+                match decode_frame(&data[offset..]) {
+                    Ok((record, used)) => {
+                        match record {
+                            WalRecord::Event(event) => {
+                                let slot = entry.max_seq.entry(event.id.sensor).or_insert(0);
+                                *slot = (*slot).max(event.id.seq);
+                                recovered.events.push(event);
+                            }
+                            WalRecord::Checkpoint(cp) => {
+                                latest_checkpoint_segment = Some(seg);
+                                recovered.checkpoint = Some(cp);
+                            }
+                        }
+                        offset += used;
+                    }
+                    Err(_) => {
+                        recovered.dropped_bytes += data.len() - offset;
+                        stop = Some((seg, offset));
+                        break 'scan;
+                    }
+                }
+            }
+            tail = Some((seg, data.len()));
+        }
+
+        if let Some((bad_seg, valid_len)) = stop {
+            // The durable prefix ends inside `bad_seg`: cut its tail
+            // and discard everything after it.
+            backend.truncate_segment(bad_seg, valid_len as u64)?;
+            for &seg in segments.iter().filter(|&&s| s > bad_seg) {
+                recovered.dropped_bytes += backend.read_segment(seg)?.len();
+                backend.delete_segment(seg)?;
+                index.remove(&seg);
+            }
+            tail = Some((bad_seg, valid_len));
+        }
+
+        let (tail, tail_bytes) = match tail {
+            Some(t) => t,
+            None => {
+                backend.create_segment(0)?;
+                (0, 0)
+            }
+        };
+        index.entry(tail).or_default();
+
+        Ok((
+            Self {
+                backend,
+                options,
+                tail,
+                tail_bytes,
+                pending: Vec::new(),
+                pending_events: 0,
+                pending_index: SegmentIndex::default(),
+                index,
+                latest_checkpoint_segment,
+                metrics: WalMetrics::default(),
+            },
+            recovered,
+        ))
+    }
+
+    /// Buffers `event` and flushes if the policy calls for it.
+    /// Returns whether a flush happened — until it has (or
+    /// [`Wal::flush`] is called), the event is **not durable**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures from an implied flush.
+    pub fn append_event(&mut self, event: &Event) -> Result<bool> {
+        let frame = encode_frame(&WalRecord::Event(event.clone()));
+        self.pending.extend_from_slice(&frame);
+        self.pending_events += 1;
+        let slot = self
+            .pending_index
+            .max_seq
+            .entry(event.id.sensor)
+            .or_insert(0);
+        *slot = (*slot).max(event.id.seq);
+        self.metrics.appends += 1;
+        let should_flush = match self.options.flush_policy {
+            FlushPolicy::PerEvent => true,
+            FlushPolicy::EveryN(n) => self.pending_events >= n.max(1),
+            FlushPolicy::EveryInterval(_) => false,
+        };
+        if should_flush {
+            self.flush()?;
+        }
+        Ok(should_flush)
+    }
+
+    /// Appends a checkpoint and flushes immediately: a checkpoint is
+    /// only useful durable, and compaction keys off its position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn append_checkpoint(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        let frame = encode_frame(&WalRecord::Checkpoint(checkpoint.clone()));
+        self.pending.extend_from_slice(&frame);
+        self.flush()?;
+        self.latest_checkpoint_segment = Some(self.tail);
+        self.metrics.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Pushes all buffered frames to the backend and fsyncs, rotating
+    /// to a new segment first when the tail is full. No-op when
+    /// nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if self.tail_bytes > 0
+            && self.tail_bytes + self.pending.len() > self.options.segment_max_bytes
+        {
+            self.tail += 1;
+            self.backend.create_segment(self.tail)?;
+            self.tail_bytes = 0;
+            self.index.insert(self.tail, SegmentIndex::default());
+            self.metrics.segments_created += 1;
+        }
+        self.backend.append(self.tail, &self.pending)?;
+        self.backend.sync(self.tail)?;
+        self.tail_bytes += self.pending.len();
+        self.metrics.flushes += 1;
+        self.metrics.bytes_flushed += self.pending.len() as u64;
+        let tail_index = self.index.entry(self.tail).or_default();
+        for (sensor, seq) in self.pending_index.max_seq.drain() {
+            let slot = tail_index.max_seq.entry(sensor).or_insert(0);
+            *slot = (*slot).max(seq);
+        }
+        self.pending.clear();
+        self.pending_events = 0;
+        Ok(())
+    }
+
+    /// Deletes the longest prefix of sealed segments whose events are
+    /// all covered by `processed` watermarks, never touching the tail
+    /// or the segment holding the newest checkpoint. Returns how many
+    /// segments were deleted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn compact(&mut self, processed: &HashMap<SensorId, u64>) -> Result<usize> {
+        let Some(checkpoint_seg) = self.latest_checkpoint_segment else {
+            return Ok(0);
+        };
+        let candidates: Vec<SegmentId> = self
+            .index
+            .keys()
+            .copied()
+            .filter(|&s| s < checkpoint_seg && s < self.tail)
+            .collect();
+        let mut deleted = 0;
+        for seg in candidates {
+            let covered = self.index[&seg]
+                .max_seq
+                .iter()
+                .all(|(sensor, &max)| processed.get(sensor).is_some_and(|&p| p >= max));
+            if !covered {
+                break;
+            }
+            self.backend.delete_segment(seg)?;
+            self.index.remove(&seg);
+            deleted += 1;
+            self.metrics.segments_deleted += 1;
+        }
+        Ok(deleted)
+    }
+
+    /// Number of events buffered but not yet durable.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.pending_events
+    }
+
+    /// The current tail segment id.
+    #[must_use]
+    pub fn tail_segment(&self) -> SegmentId {
+        self.tail
+    }
+
+    /// Ids of live (non-compacted) segments, ascending.
+    #[must_use]
+    pub fn segments(&self) -> Vec<SegmentId> {
+        self.index.keys().copied().collect()
+    }
+
+    /// The configured options.
+    #[must_use]
+    pub fn options(&self) -> &WalOptions {
+        &self.options
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> WalMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FaultConfig, SimBackend};
+    use rivulet_types::{EventId, EventKind, Payload, Time};
+
+    fn event(sensor: u32, seq: u64) -> Event {
+        Event {
+            id: EventId::new(SensorId(sensor), seq),
+            kind: EventKind::Motion,
+            payload: Payload::Empty,
+            emitted_at: Time::from_millis(seq),
+            epoch: None,
+        }
+    }
+
+    fn sim() -> Arc<SimBackend> {
+        Arc::new(SimBackend::new(0).with_faults(FaultConfig {
+            torn_tail: false,
+            corrupt_tail: 0.0,
+            partial_fsync: 0.0,
+        }))
+    }
+
+    #[test]
+    fn group_commit_beats_per_event_fsync_in_virtual_disk_time() {
+        let disk_time = |policy: FlushPolicy| {
+            let backend = sim();
+            let options = WalOptions {
+                flush_policy: policy,
+                ..WalOptions::default()
+            };
+            let (mut wal, _) =
+                Wal::open(backend.clone() as Arc<dyn StorageBackend>, options).unwrap();
+            for seq in 0..1000 {
+                wal.append_event(&event(1, seq)).unwrap();
+            }
+            wal.flush().unwrap();
+            backend.busy()
+        };
+        let per_event = disk_time(FlushPolicy::PerEvent);
+        let grouped = disk_time(FlushPolicy::EveryN(16));
+        assert!(
+            grouped.as_micros() * 4 < per_event.as_micros(),
+            "group commit must amortize fsyncs: {grouped} !< {per_event} / 4"
+        );
+    }
+
+    #[test]
+    fn append_flush_recover_roundtrip() {
+        let backend = sim();
+        let (mut wal, rec) = Wal::open(
+            backend.clone() as Arc<dyn StorageBackend>,
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert!(rec.events.is_empty());
+        for seq in 1..=10 {
+            assert!(wal.append_event(&event(1, seq)).unwrap());
+        }
+        drop(wal);
+        let (_, rec) =
+            Wal::open(backend as Arc<dyn StorageBackend>, WalOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 10);
+        assert_eq!(rec.events.last().unwrap().id.seq, 10);
+        assert_eq!(rec.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn group_commit_defers_durability_until_flush() {
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::EveryN(4),
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open(backend.clone() as Arc<dyn StorageBackend>, options).unwrap();
+        assert!(!wal.append_event(&event(1, 1)).unwrap());
+        assert!(!wal.append_event(&event(1, 2)).unwrap());
+        assert!(!wal.append_event(&event(1, 3)).unwrap());
+        assert_eq!(wal.pending_events(), 3);
+        // Crash now: nothing was flushed, so nothing survives.
+        backend.crash();
+        let (_, rec) = Wal::open(backend.clone() as Arc<dyn StorageBackend>, options).unwrap();
+        assert!(rec.events.is_empty());
+    }
+
+    #[test]
+    fn every_n_flushes_on_the_nth_append() {
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::EveryN(3),
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open(backend as Arc<dyn StorageBackend>, options).unwrap();
+        assert!(!wal.append_event(&event(1, 1)).unwrap());
+        assert!(!wal.append_event(&event(1, 2)).unwrap());
+        assert!(wal.append_event(&event(1, 3)).unwrap());
+        assert_eq!(wal.pending_events(), 0);
+        assert_eq!(wal.metrics().flushes, 1);
+    }
+
+    #[test]
+    fn rotation_seals_segments_at_size_limit() {
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::PerEvent,
+            segment_max_bytes: 64,
+        };
+        let (mut wal, _) = Wal::open(backend as Arc<dyn StorageBackend>, options).unwrap();
+        for seq in 1..=20 {
+            wal.append_event(&event(1, seq)).unwrap();
+        }
+        assert!(
+            wal.segments().len() > 1,
+            "expected rotation, got {:?}",
+            wal.segments()
+        );
+    }
+
+    #[test]
+    fn recovery_stops_at_corruption_and_truncates() {
+        let backend = sim();
+        let (mut wal, _) = Wal::open(
+            backend.clone() as Arc<dyn StorageBackend>,
+            WalOptions::default(),
+        )
+        .unwrap();
+        for seq in 1..=5 {
+            wal.append_event(&event(1, seq)).unwrap();
+        }
+        drop(wal);
+        let len = backend.read_segment(0).unwrap().len();
+        // Corrupt somewhere in the middle: recovery keeps only the
+        // frames before the damaged one.
+        backend.inject_corruption(0, len / 2);
+        let (wal, rec) = Wal::open(
+            backend.clone() as Arc<dyn StorageBackend>,
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert!(rec.events.len() < 5);
+        assert!(rec.dropped_bytes > 0);
+        // The surviving events are an exact prefix 1..=k.
+        for (i, ev) in rec.events.iter().enumerate() {
+            assert_eq!(ev.id.seq, i as u64 + 1);
+        }
+        // And the truncated log accepts new appends cleanly.
+        let mut wal = wal;
+        wal.append_event(&event(1, 99)).unwrap();
+        let (_, rec2) =
+            Wal::open(backend as Arc<dyn StorageBackend>, WalOptions::default()).unwrap();
+        assert_eq!(rec2.dropped_bytes, 0);
+        assert_eq!(rec2.events.last().unwrap().id.seq, 99);
+    }
+
+    #[test]
+    fn checkpoint_recovers_and_compaction_drops_covered_prefix() {
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::PerEvent,
+            segment_max_bytes: 64,
+        };
+        let (mut wal, _) = Wal::open(backend.clone() as Arc<dyn StorageBackend>, options).unwrap();
+        for seq in 1..=20 {
+            wal.append_event(&event(1, seq)).unwrap();
+        }
+        let before = wal.segments().len();
+        assert!(before > 2);
+        let cp = Checkpoint {
+            at: Time::from_secs(1),
+            processed: vec![(SensorId(1), 20)],
+        };
+        wal.append_checkpoint(&cp).unwrap();
+        let mut processed = HashMap::new();
+        processed.insert(SensorId(1), 20u64);
+        let deleted = wal.compact(&processed).unwrap();
+        assert!(deleted > 0);
+        assert!(wal.segments().len() < before + 1);
+        // Recovery after compaction still sees the checkpoint.
+        drop(wal);
+        let (_, rec) = Wal::open(backend as Arc<dyn StorageBackend>, options).unwrap();
+        assert_eq!(rec.checkpoint, Some(cp));
+    }
+
+    #[test]
+    fn compaction_spares_uncovered_segments() {
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::PerEvent,
+            segment_max_bytes: 64,
+        };
+        let (mut wal, _) = Wal::open(backend as Arc<dyn StorageBackend>, options).unwrap();
+        for seq in 1..=20 {
+            wal.append_event(&event(1, seq)).unwrap();
+        }
+        let cp = Checkpoint {
+            at: Time::from_secs(1),
+            processed: vec![(SensorId(1), 0)],
+        };
+        wal.append_checkpoint(&cp).unwrap();
+        // Nothing processed yet: every event segment must survive.
+        let deleted = wal.compact(&HashMap::new()).unwrap();
+        assert_eq!(deleted, 0);
+    }
+
+    #[test]
+    fn fs_backend_end_to_end() {
+        use crate::fs::FsBackend;
+        let dir =
+            std::env::temp_dir().join(format!("rivulet-wal-fs-{}-{}", std::process::id(), line!()));
+        let backend = Arc::new(FsBackend::open(&dir).unwrap());
+        let (mut wal, _) = Wal::open(
+            backend.clone() as Arc<dyn StorageBackend>,
+            WalOptions::default(),
+        )
+        .unwrap();
+        for seq in 1..=8 {
+            wal.append_event(&event(2, seq)).unwrap();
+        }
+        drop(wal);
+        let (_, rec) =
+            Wal::open(backend as Arc<dyn StorageBackend>, WalOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 8);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

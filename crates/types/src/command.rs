@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::{ActuatorId, OperatorId, ProcessId};
 use crate::time::Time;
 use crate::wire::{Wire, WireError, WireReader, WireWriter};
@@ -14,9 +12,7 @@ use crate::wire::{Wire, WireError, WireReader, WireWriter};
 /// plus a per-issuer sequence number, so duplicate actuations caused by
 /// concurrent active logic nodes (e.g. during a network partition, §5)
 /// can be detected by Test&Set actuators and by the metrics layer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CommandId {
     /// Process hosting the logic node that issued the command.
     pub issuer: ProcessId,
@@ -30,7 +26,11 @@ impl CommandId {
     /// Creates a command identity.
     #[must_use]
     pub fn new(issuer: ProcessId, operator: OperatorId, seq: u64) -> Self {
-        Self { issuer, operator, seq }
+        Self {
+            issuer,
+            operator,
+            seq,
+        }
     }
 }
 
@@ -62,7 +62,7 @@ impl Wire for CommandId {
 
 /// The externally visible state of an actuator, used both as command
 /// argument and as the value read back by Test&Set (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum ActuationState {
     /// Binary state (light on/off, lock engaged/open, siren on/off).
@@ -117,13 +117,16 @@ impl Wire for ActuationState {
             0 => Ok(ActuationState::Switch(bool::decode(r)?)),
             1 => Ok(ActuationState::Level(f64::decode(r)?)),
             2 => Ok(ActuationState::Pulse(u32::decode(r)?)),
-            tag => Err(WireError::InvalidTag { ty: "ActuationState", tag }),
+            tag => Err(WireError::InvalidTag {
+                ty: "ActuationState",
+                tag,
+            }),
         }
     }
 }
 
 /// How a command mutates the actuator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum CommandKind {
     /// Unconditionally set the actuator state. Safe to repeat for
@@ -171,14 +174,17 @@ impl Wire for CommandKind {
                 expected: ActuationState::decode(r)?,
                 desired: ActuationState::decode(r)?,
             }),
-            tag => Err(WireError::InvalidTag { ty: "CommandKind", tag }),
+            tag => Err(WireError::InvalidTag {
+                ty: "CommandKind",
+                tag,
+            }),
         }
     }
 }
 
 /// An actuation command: the unit of data flowing from logic nodes
 /// through actuator nodes to physical actuators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Command {
     /// Unique identity.
     pub id: CommandId,
@@ -194,7 +200,12 @@ impl Command {
     /// Creates a command.
     #[must_use]
     pub fn new(id: CommandId, actuator: ActuatorId, kind: CommandKind, issued_at: Time) -> Self {
-        Self { id, actuator, kind, issued_at }
+        Self {
+            id,
+            actuator,
+            kind,
+            issued_at,
+        }
     }
 }
 
@@ -289,11 +300,17 @@ mod tests {
     fn junk_tags_rejected() {
         assert!(matches!(
             ActuationState::from_bytes(&[7]),
-            Err(WireError::InvalidTag { ty: "ActuationState", .. })
+            Err(WireError::InvalidTag {
+                ty: "ActuationState",
+                ..
+            })
         ));
         assert!(matches!(
             CommandKind::from_bytes(&[7]),
-            Err(WireError::InvalidTag { ty: "CommandKind", .. })
+            Err(WireError::InvalidTag {
+                ty: "CommandKind",
+                ..
+            })
         ));
     }
 }

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::id::EventId;
 use crate::time::Time;
@@ -16,7 +15,7 @@ use crate::wire::{varint_len, Wire, WireError, WireReader, WireWriter};
 /// door/window, energy, UV, vibration) emit **small** 4–8 byte events;
 /// IP cameras and microphone frame batches emit **large** 1–20 KB
 /// events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SizeClass {
     /// 4–8 byte events from scalar sensors.
     Small,
@@ -51,7 +50,7 @@ impl fmt::Display for SizeClass {
 /// Scalar readings carry their value inline; opaque blobs (camera
 /// frames, microphone batches) carry their bytes in the event
 /// [`Payload`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum EventKind {
     /// A door or window opened.
@@ -105,7 +104,10 @@ impl EventKind {
         Self::ALL
             .get(tag as usize)
             .copied()
-            .ok_or(WireError::InvalidTag { ty: "EventKind", tag })
+            .ok_or(WireError::InvalidTag {
+                ty: "EventKind",
+                tag,
+            })
     }
 }
 
@@ -130,8 +132,7 @@ impl fmt::Display for EventKind {
 
 /// The data carried by an event: a scalar value, an opaque blob, or
 /// nothing beyond the kind itself.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Payload {
     /// No payload beyond the event kind (e.g. a door-open event whose
     /// whole meaning is its kind). On real Z-Wave hardware such events
@@ -179,7 +180,6 @@ impl Payload {
         self.len() == 0
     }
 }
-
 
 impl From<f64> for Payload {
     fn from(v: f64) -> Self {
@@ -234,7 +234,7 @@ impl Wire for Payload {
 /// emission timestamp supports delay measurement (Fig. 4) and staleness
 /// bounds (§6); the optional `epoch` ties poll-based events to their
 /// polling epoch for coordinated polling (§4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Unique identity: source sensor + per-sensor sequence number.
     pub id: EventId,
@@ -252,18 +252,25 @@ impl Event {
     /// Creates an event with no payload.
     #[must_use]
     pub fn new(id: EventId, kind: EventKind, emitted_at: Time) -> Self {
-        Self { id, kind, payload: Payload::Empty, emitted_at, epoch: None }
+        Self {
+            id,
+            kind,
+            payload: Payload::Empty,
+            emitted_at,
+            epoch: None,
+        }
     }
 
     /// Creates an event carrying a payload.
     #[must_use]
-    pub fn with_payload(
-        id: EventId,
-        kind: EventKind,
-        payload: Payload,
-        emitted_at: Time,
-    ) -> Self {
-        Self { id, kind, payload, emitted_at, epoch: None }
+    pub fn with_payload(id: EventId, kind: EventKind, payload: Payload, emitted_at: Time) -> Self {
+        Self {
+            id,
+            kind,
+            payload,
+            emitted_at,
+            epoch: None,
+        }
     }
 
     /// Attaches the polling epoch this event answers.
@@ -321,7 +328,13 @@ impl Wire for Event {
         let payload = Payload::decode(r)?;
         let emitted_at = Time::decode(r)?;
         let epoch = Option::<u64>::decode(r)?;
-        Ok(Self { id, kind, payload, emitted_at, epoch })
+        Ok(Self {
+            id,
+            kind,
+            payload,
+            emitted_at,
+            epoch,
+        })
     }
 }
 
@@ -391,7 +404,11 @@ mod tests {
     #[test]
     fn wire_payload_bytes_matches_table3() {
         // Kind-only events model the 4-byte small class.
-        let door = Event::new(EventId::new(SensorId(0), 0), EventKind::DoorOpen, Time::ZERO);
+        let door = Event::new(
+            EventId::new(SensorId(0), 0),
+            EventKind::DoorOpen,
+            Time::ZERO,
+        );
         assert_eq!(door.wire_payload_bytes(), 4);
         // Scalar readings are 8 bytes.
         assert_eq!(sample_event().wire_payload_bytes(), 8);
@@ -433,7 +450,10 @@ mod tests {
     fn junk_payload_tag_rejected() {
         assert!(matches!(
             Payload::from_bytes(&[9]),
-            Err(WireError::InvalidTag { ty: "Payload", tag: 9 })
+            Err(WireError::InvalidTag {
+                ty: "Payload",
+                tag: 9
+            })
         ));
     }
 }

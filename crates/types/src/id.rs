@@ -2,17 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::wire::{Wire, WireError, WireReader, WireWriter};
 
 macro_rules! impl_u32_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -95,9 +90,7 @@ impl_u32_id! {
 /// detection trivial, and provide the "timestamp of the last event
 /// received" used by the Bayou-style anti-entropy synchronization of
 /// the Gapless protocol (paper §4.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId {
     /// The sensor that produced the event.
     pub sensor: SensorId,
@@ -116,7 +109,10 @@ impl EventId {
     /// one by the same sensor.
     #[must_use]
     pub fn successor(self) -> Self {
-        Self { sensor: self.sensor, seq: self.seq + 1 }
+        Self {
+            sensor: self.sensor,
+            seq: self.seq + 1,
+        }
     }
 }
 
@@ -137,7 +133,10 @@ impl Wire for EventId {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { sensor: SensorId::decode(r)?, seq: u64::decode(r)? })
+        Ok(Self {
+            sensor: SensorId::decode(r)?,
+            seq: u64::decode(r)?,
+        })
     }
 }
 

@@ -9,8 +9,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::wire::{Wire, WireError, WireReader, WireWriter};
 
 /// A span of time with microsecond resolution.
@@ -18,10 +16,7 @@ use crate::wire::{Wire, WireError, WireReader, WireWriter};
 /// A thin wrapper over a `u64` count of microseconds; unlike
 /// [`std::time::Duration`] it is `Copy`-cheap to encode on the wire and
 /// supports the saturating arithmetic the protocol code needs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -158,10 +153,7 @@ impl Wire for Duration {
 /// Under the simulator this is virtual time; under the live driver it
 /// is wall-clock time since driver start. All protocol timestamps
 /// (event emission, keep-alive deadlines, polling slots) use this type.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {
@@ -284,13 +276,22 @@ mod tests {
         assert_eq!(a - b, Duration::from_millis(250));
         assert_eq!(b - a, Duration::ZERO, "subtraction saturates");
         assert_eq!(a.saturating_mul(4), Duration::from_secs(2));
-        assert_eq!(Duration::from_secs(10).div_duration(Duration::from_secs(3)), 3);
+        assert_eq!(
+            Duration::from_secs(10).div_duration(Duration::from_secs(3)),
+            3
+        );
     }
 
     #[test]
     fn duration_mul_f64_rounds() {
-        assert_eq!(Duration::from_micros(10).mul_f64(0.25), Duration::from_micros(3));
-        assert_eq!(Duration::from_secs(1).mul_f64(1.5), Duration::from_millis(1_500));
+        assert_eq!(
+            Duration::from_micros(10).mul_f64(0.25),
+            Duration::from_micros(3)
+        );
+        assert_eq!(
+            Duration::from_secs(1).mul_f64(1.5),
+            Duration::from_millis(1_500)
+        );
     }
 
     #[test]

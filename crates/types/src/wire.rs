@@ -109,7 +109,9 @@ impl WireWriter {
     /// Creates a writer with `cap` bytes preallocated.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written so far.
@@ -200,7 +202,10 @@ impl<'a> WireReader<'a> {
     /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
     pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.buf.len() < n {
-            return Err(WireError::UnexpectedEof { needed: n, remaining: self.buf.len() });
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.buf.len(),
+            });
         }
         let (head, rest) = self.buf.split_at(n);
         self.buf = rest;
@@ -290,7 +295,9 @@ pub trait Wire: Sized {
         let mut r = WireReader::new(buf);
         let value = Self::decode(&mut r)?;
         if !r.is_empty() {
-            return Err(WireError::LengthTooLarge { declared: r.remaining() as u64 });
+            return Err(WireError::LengthTooLarge {
+                declared: r.remaining() as u64,
+            });
         }
         Ok(value)
     }
@@ -491,7 +498,17 @@ mod tests {
 
     #[test]
     fn varint_len_matches_encoding() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = WireWriter::new();
             w.put_varint(v);
             assert_eq!(w.len(), varint_len(v), "value {v}");
@@ -523,7 +540,13 @@ mod tests {
         let mut r = WireReader::new(&[]);
         assert!(matches!(r.get_u8(), Err(WireError::UnexpectedEof { .. })));
         let mut r = WireReader::new(&[1, 2]);
-        assert!(matches!(r.get_slice(3), Err(WireError::UnexpectedEof { needed: 3, remaining: 2 })));
+        assert!(matches!(
+            r.get_slice(3),
+            Err(WireError::UnexpectedEof {
+                needed: 3,
+                remaining: 2
+            })
+        ));
     }
 
     #[test]
@@ -538,7 +561,10 @@ mod tests {
     fn option_rejects_junk_tag() {
         assert_eq!(
             Option::<u8>::from_bytes(&[9]),
-            Err(WireError::InvalidTag { ty: "Option", tag: 9 })
+            Err(WireError::InvalidTag {
+                ty: "Option",
+                tag: 9
+            })
         );
     }
 

@@ -12,9 +12,7 @@
 //! cargo run --example elder_care
 //! ```
 
-use rivulet::core::app::{
-    AlertOnEvent, AppBuilder, CombinerSpec, InactivityAlert, WindowSpec,
-};
+use rivulet::core::app::{AlertOnEvent, AppBuilder, CombinerSpec, InactivityAlert, WindowSpec};
 use rivulet::core::delivery::Delivery;
 use rivulet::core::deploy::HomeBuilder;
 use rivulet::devices::sensor::{EmissionSchedule, PayloadSpec};
@@ -37,25 +35,23 @@ fn main() {
         &[tv],
     );
     // Bathroom motion stops after t=50s.
-    let motion_script: Vec<Time> =
-        (1..=10).map(|i| Time::from_secs(i * 5)).collect();
+    let motion_script: Vec<Time> = (1..=10).map(|i| Time::from_secs(i * 5)).collect();
     let (motion, _) = home.add_push_sensor(
         "bathroom-motion",
         PayloadSpec::KindOnly(EventKind::Motion),
         EmissionSchedule::Script(motion_script),
         &[hub, fridge],
     );
-    let (pager, _) = home.add_actuator(
-        "caregiver-pager",
-        ActuationState::Switch(false),
-        &[hub],
-    );
+    let (pager, _) = home.add_actuator("caregiver-pager", ActuationState::Switch(false), &[hub]);
 
     let fall_app = AppBuilder::new(AppId(1), "fall-alert")
         .operator(
             "FallAlert",
             CombinerSpec::tolerate_fail_stop(1),
-            AlertOnEvent { message: "FALL DETECTED — paging caregiver".into(), siren: Some(pager) },
+            AlertOnEvent {
+                message: "FALL DETECTED — paging caregiver".into(),
+                siren: Some(pager),
+            },
         )
         .sensor(wearable, Delivery::Gapless, WindowSpec::count(1))
         .actuator(pager, Delivery::Gapless)
@@ -68,9 +64,15 @@ fn main() {
         .operator(
             "Inactivity",
             CombinerSpec::Any,
-            InactivityAlert { message: "no bathroom activity for 60s".into() },
+            InactivityAlert {
+                message: "no bathroom activity for 60s".into(),
+            },
         )
-        .sensor(motion, Delivery::Gapless, WindowSpec::time(Duration::from_secs(60)))
+        .sensor(
+            motion,
+            Delivery::Gapless,
+            WindowSpec::time(Duration::from_secs(60)),
+        )
         .done()
         .build()
         .expect("valid app");

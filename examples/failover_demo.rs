@@ -28,8 +28,7 @@ fn run(delivery: Delivery) {
         EmissionSchedule::Periodic(Duration::from_millis(100)),
         &pids,
     );
-    let (anchor, _) =
-        home.add_actuator("notifier", ActuationState::Switch(false), &[pids[0]]);
+    let (anchor, _) = home.add_actuator("notifier", ActuationState::Switch(false), &[pids[0]]);
     let app = AppBuilder::new(AppId(1), "activity")
         .operator(
             "sink",
@@ -50,12 +49,19 @@ fn run(delivery: Delivery) {
     for (t, p, active) in probe.transitions() {
         println!(
             "  {t} {p} {}",
-            if active { "PROMOTED to active logic node" } else { "demoted to shadow" }
+            if active {
+                "PROMOTED to active logic node"
+            } else {
+                "demoted to shadow"
+            }
         );
     }
     let emitted = motion_probe.emitted();
     let delivered = probe.unique_delivered();
-    println!("  emitted {emitted}, processed {delivered}, lost {}", emitted - delivered as u64);
+    println!(
+        "  emitted {emitted}, processed {delivered}, lost {}",
+        emitted - delivered as u64
+    );
 
     // Per-second timeline around the crash.
     let mut per_second = [0u32; 50];

@@ -34,25 +34,33 @@ fn main() {
         let (id, probe) = home.add_push_sensor(
             name,
             PayloadSpec::KindOnly(EventKind::DoorOpen),
-            EmissionSchedule::Poisson { mean: Duration::from_secs(7) },
+            EmissionSchedule::Poisson {
+                mean: Duration::from_secs(7),
+            },
             &procs,
         );
         doors.push((name, id, probe));
     }
-    let (siren, siren_probe) =
-        home.add_actuator("siren", ActuationState::Switch(false), &[hub]);
+    let (siren, siren_probe) = home.add_actuator("siren", ActuationState::Switch(false), &[hub]);
 
     // Listing 1: FTCombiner(n-1), CountWindow(1), GAPLESS.
     let n = doors.len();
     let mut op = AppBuilder::new(AppId(1), "intrusion").operator(
         "Intrusion",
         CombinerSpec::tolerate_fail_stop(n),
-        AlertOnEvent { message: "intrusion detected".into(), siren: Some(siren) },
+        AlertOnEvent {
+            message: "intrusion detected".into(),
+            siren: Some(siren),
+        },
     );
     for (_, id, _) in &doors {
         op = op.sensor(*id, Delivery::Gapless, WindowSpec::count(1));
     }
-    let app = op.actuator(siren, Delivery::Gapless).done().build().expect("valid app");
+    let app = op
+        .actuator(siren, Delivery::Gapless)
+        .done()
+        .build()
+        .expect("valid app");
     let probe = home.add_app(app);
     let home = home.build();
 
@@ -77,7 +85,10 @@ fn main() {
     println!("door events emitted:            {emitted}");
     println!("distinct events reaching logic: {delivered}");
     println!("alerts raised:                  {alerts}");
-    println!("siren actuations:               {}", siren_probe.effect_count());
+    println!(
+        "siren actuations:               {}",
+        siren_probe.effect_count()
+    );
     println!(
         "active logic node history:      {:?}",
         probe
@@ -87,7 +98,10 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    assert!(delivered as f64 >= emitted as f64 * 0.93, "gapless should survive this");
+    assert!(
+        delivered as f64 >= emitted as f64 * 0.93,
+        "gapless should survive this"
+    );
     assert!(siren_probe.effect_count() > 0);
     println!("intrusion detection OK");
 }

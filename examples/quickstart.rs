@@ -38,8 +38,7 @@ fn main() {
         EmissionSchedule::Periodic(Duration::from_millis(400)),
         &[tv, fridge],
     );
-    let (light, light_probe) =
-        home.add_actuator("light", ActuationState::Switch(false), &[hub]);
+    let (light, light_probe) = home.add_actuator("light", ActuationState::Switch(false), &[hub]);
 
     let app = AppBuilder::new(AppId(1), "door-light")
         .operator(
@@ -67,7 +66,10 @@ fn main() {
     let switched = light_probe.effect_count();
     println!("door emitted {emitted} events");
     println!("TurnLightOnOff processed {delivered} of them");
-    println!("light actuated {switched} times; final state {}", light_probe.state());
+    println!(
+        "light actuated {switched} times; final state {}",
+        light_probe.state()
+    );
     if let Some(mean) = app_probe.mean_delay() {
         println!("mean sensor→logic delay: {mean}");
     }

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rivulet::core::app::{
-    AlertOnEvent, AppBuilder, CombinedWindows, CombinerSpec, InactivityAlert, OpCtx,
-    OperatorLogic, SwitchOnEvents, WindowSpec,
+    AlertOnEvent, AppBuilder, CombinedWindows, CombinerSpec, InactivityAlert, OpCtx, OperatorLogic,
+    SwitchOnEvents, WindowSpec,
 };
 use rivulet::core::delivery::Delivery;
 use rivulet::core::deploy::HomeBuilder;
@@ -38,7 +38,8 @@ impl OperatorLogic for Billing {
     fn on_windows(&self, _ctx: &mut OpCtx, input: &CombinedWindows) {
         for value in input.scalars() {
             // 1 kWh-scale reading → toy tariff.
-            self.total_millicents.fetch_add((value * 10.0) as u64, Ordering::SeqCst);
+            self.total_millicents
+                .fetch_add((value * 10.0) as u64, Ordering::SeqCst);
         }
     }
 }
@@ -55,7 +56,9 @@ fn main() {
     let (motion, _) = home.add_push_sensor(
         "motion",
         PayloadSpec::KindOnly(EventKind::Motion),
-        EmissionSchedule::Poisson { mean: Duration::from_secs(5) },
+        EmissionSchedule::Poisson {
+            mean: Duration::from_secs(5),
+        },
         &all,
     );
     let (moisture, moisture_probe) = home.add_push_sensor(
@@ -75,8 +78,7 @@ fn main() {
         EmissionSchedule::Periodic(Duration::from_secs(2)),
         &[hub, washer],
     );
-    let (lights, lights_probe) =
-        home.add_actuator("lights", ActuationState::Switch(false), &[hub]);
+    let (lights, lights_probe) = home.add_actuator("lights", ActuationState::Switch(false), &[hub]);
 
     // Automated lighting (Gap: short gaps are fine).
     let lighting = AppBuilder::new(AppId(1), "auto-lighting")
@@ -101,7 +103,10 @@ fn main() {
         .operator(
             "Flood",
             CombinerSpec::Any,
-            AlertOnEvent { message: "WATER DETECTED".into(), siren: None },
+            AlertOnEvent {
+                message: "WATER DETECTED".into(),
+                siren: None,
+            },
         )
         .sensor(moisture, Delivery::Gapless, WindowSpec::count(1))
         .done()
@@ -114,9 +119,15 @@ fn main() {
         .operator(
             "Inactivity",
             CombinerSpec::Any,
-            InactivityAlert { message: "no activity observed".into() },
+            InactivityAlert {
+                message: "no activity observed".into(),
+            },
         )
-        .sensor(motion, Delivery::Gapless, WindowSpec::time(Duration::from_secs(30)))
+        .sensor(
+            motion,
+            Delivery::Gapless,
+            WindowSpec::time(Duration::from_secs(30)),
+        )
         .done()
         .build()
         .expect("valid");
@@ -128,7 +139,9 @@ fn main() {
         .operator(
             "Billing",
             CombinerSpec::Any,
-            Billing { total_millicents: Arc::clone(&total) },
+            Billing {
+                total_millicents: Arc::clone(&total),
+            },
         )
         .sensor(power, Delivery::Gapless, WindowSpec::count(1))
         .done()
@@ -150,7 +163,11 @@ fn main() {
 
     net.run_until(Time::from_secs(150));
 
-    println!("automated lighting: {} actuations, light {} ", lights_probe.effect_count(), lights_probe.state());
+    println!(
+        "automated lighting: {} actuations, light {} ",
+        lights_probe.effect_count(),
+        lights_probe.state()
+    );
     println!(
         "flood alert: {} water events emitted, {} alerts",
         moisture_probe.emitted(),
@@ -172,7 +189,10 @@ fn main() {
 
     // Both scripted water events must reach the app despite the
     // partition (the second lands inside it).
-    assert!(flood_probe.unique_delivered() >= 2, "flood events are gapless");
+    assert!(
+        flood_probe.unique_delivered() >= 2,
+        "flood events are gapless"
+    );
     assert!(lights_probe.effect_count() > 0);
     assert!(total.load(Ordering::SeqCst) > 0);
     println!("smart home tour OK");

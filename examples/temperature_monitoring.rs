@@ -34,17 +34,39 @@ fn main() {
     // sensor reporting a constant absurd 85 °C.
     let mut sensors = Vec::new();
     for (name, model) in [
-        ("temp-living", ValueModel::RandomWalk { value: 16.0, step: 0.1, min: 14.0, max: 18.0 }),
-        ("temp-kitchen", ValueModel::RandomWalk { value: 16.2, step: 0.1, min: 14.0, max: 18.0 }),
-        ("temp-bedroom", ValueModel::RandomWalk { value: 15.8, step: 0.1, min: 14.0, max: 18.0 }),
+        (
+            "temp-living",
+            ValueModel::RandomWalk {
+                value: 16.0,
+                step: 0.1,
+                min: 14.0,
+                max: 18.0,
+            },
+        ),
+        (
+            "temp-kitchen",
+            ValueModel::RandomWalk {
+                value: 16.2,
+                step: 0.1,
+                min: 14.0,
+                max: 18.0,
+            },
+        ),
+        (
+            "temp-bedroom",
+            ValueModel::RandomWalk {
+                value: 15.8,
+                step: 0.1,
+                min: 14.0,
+                max: 18.0,
+            },
+        ),
         ("temp-broken", ValueModel::Constant(85.0)),
     ] {
-        let (id, probe) =
-            home.add_poll_sensor(name, model, Duration::from_millis(600), &procs);
+        let (id, probe) = home.add_poll_sensor(name, model, Duration::from_millis(600), &procs);
         sensors.push((name, id, probe));
     }
-    let (hvac, hvac_probe) =
-        home.add_actuator("hvac", ActuationState::Level(16.0), &[hub]);
+    let (hvac, hvac_probe) = home.add_actuator("hvac", ActuationState::Level(16.0), &[hub]);
 
     // Listing 2 wiring: GAP delivery, per-epoch polling, FTCombiner
     // with arbitrary-failure tolerance.
@@ -52,7 +74,10 @@ fn main() {
     let mut op = AppBuilder::new(AppId(1), "avg-temp").operator(
         "Averaging",
         CombinerSpec::tolerate_arbitrary(n),
-        MarzulloAverage { precision: 0.75, tolerate: (n - 1) / 3 },
+        MarzulloAverage {
+            precision: 0.75,
+            tolerate: (n - 1) / 3,
+        },
     );
     for (_, id, _) in &sensors {
         op = op.polled_sensor(
@@ -68,7 +93,11 @@ fn main() {
         .operator(
             "HvacControl",
             CombinerSpec::Any,
-            ThresholdHvac { low: 18.0, high: 26.0, hvac },
+            ThresholdHvac {
+                low: 18.0,
+                high: 26.0,
+                hvac,
+            },
         )
         .upstream(averaging, WindowSpec::count(1))
         .actuator(hvac, Delivery::Gap)

@@ -4,7 +4,7 @@
 //! processes, apps — through scripted failures and check the exact
 //! per-event semantics of Gap and Gapless delivery.
 
-use rivulet::core::app::{AppBuilder, CombinerSpec, OpCtx, CombinedWindows, WindowSpec};
+use rivulet::core::app::{AppBuilder, CombinedWindows, CombinerSpec, OpCtx, WindowSpec};
 use rivulet::core::config::ForwardingMode;
 use rivulet::core::delivery::Delivery;
 use rivulet::core::deploy::{Home, HomeBuilder};
@@ -29,12 +29,7 @@ fn noop() -> impl Fn(&mut OpCtx, &CombinedWindows) + Send + Sync {
 
 /// Three hosts; a scripted door sensor heard by hosts 1 and 2; app
 /// anchored at host 0.
-fn scripted_home(
-    delivery: Delivery,
-    script: Vec<Time>,
-    config: RivuletConfig,
-    seed: u64,
-) -> Setup {
+fn scripted_home(delivery: Delivery, script: Vec<Time>, config: RivuletConfig, seed: u64) -> Setup {
     let mut net = SimNet::new(SimConfig::with_seed(seed));
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     let pids: Vec<ProcessId> = ["hub", "tv", "fridge"]
@@ -47,8 +42,7 @@ fn scripted_home(
         EmissionSchedule::Script(script),
         &[pids[1], pids[2]],
     );
-    let (anchor, _) =
-        home.add_actuator("anchor", ActuationState::Switch(false), &[pids[0]]);
+    let (anchor, _) = home.add_actuator("anchor", ActuationState::Switch(false), &[pids[0]]);
     let app = AppBuilder::new(AppId(1), "trace")
         .operator("sink", CombinerSpec::Any, noop())
         .sensor(sensor, delivery, WindowSpec::count(1))
@@ -58,7 +52,13 @@ fn scripted_home(
         .expect("valid app");
     let probe = home.add_app(app);
     let home = home.build();
-    Setup { net, home, probe, sensor, pids }
+    Setup {
+        net,
+        home,
+        probe,
+        sensor,
+        pids,
+    }
 }
 
 fn delivered_seqs(probe: &AppProbe) -> Vec<u64> {
@@ -75,8 +75,7 @@ fn delivered_seqs(probe: &AppProbe) -> Vec<u64> {
 
 #[test]
 fn fig3_gapless_recovers_partial_loss_gap_does_not() {
-    let script: Vec<Time> =
-        (1..=4).map(|i| Time::from_secs(2 * i)).collect(); // t=2,4,6,8
+    let script: Vec<Time> = (1..=4).map(|i| Time::from_secs(2 * i)).collect(); // t=2,4,6,8
     for (delivery, expected) in [
         (Delivery::Gap, vec![0u64, 3]),
         (Delivery::Gapless, vec![0, 1, 3]),
@@ -86,12 +85,16 @@ fn fig3_gapless_recovers_partial_loss_gap_does_not() {
         let tv = s.home.actor_of(s.pids[1]);
         let fridge = s.home.actor_of(s.pids[2]);
         // Event 1 (t=4): lost on tv's link only.
-        s.net.set_blocked_at(Time::from_millis(3_900), dev, tv, true);
-        s.net.set_blocked_at(Time::from_millis(4_100), dev, tv, false);
+        s.net
+            .set_blocked_at(Time::from_millis(3_900), dev, tv, true);
+        s.net
+            .set_blocked_at(Time::from_millis(4_100), dev, tv, false);
         // Event 2 (t=6): lost everywhere (never ingested).
         for target in [tv, fridge] {
-            s.net.set_blocked_at(Time::from_millis(5_900), dev, target, true);
-            s.net.set_blocked_at(Time::from_millis(6_100), dev, target, false);
+            s.net
+                .set_blocked_at(Time::from_millis(5_900), dev, target, true);
+            s.net
+                .set_blocked_at(Time::from_millis(6_100), dev, target, false);
         }
         s.net.run_until(Time::from_secs(12));
         assert_eq!(delivered_seqs(&s.probe), expected, "{delivery}");
@@ -101,12 +104,7 @@ fn fig3_gapless_recovers_partial_loss_gap_does_not() {
 #[test]
 fn gapless_delivers_exactly_once_per_event_failure_free() {
     let script: Vec<Time> = (1..=20).map(|i| Time::from_millis(500 * i)).collect();
-    let mut s = scripted_home(
-        Delivery::Gapless,
-        script,
-        RivuletConfig::default(),
-        2,
-    );
+    let mut s = scripted_home(Delivery::Gapless, script, RivuletConfig::default(), 2);
     s.net.run_until(Time::from_secs(15));
     let deliveries = s.probe.deliveries();
     assert_eq!(deliveries.len(), 20, "no duplicates, no losses");
@@ -181,7 +179,12 @@ fn gap_discards_at_non_forwarders_saving_network() {
 fn delivery_is_deterministic_for_a_seed() {
     let script: Vec<Time> = (1..=10).map(|i| Time::from_millis(700 * i)).collect();
     let run = |seed: u64| {
-        let mut s = scripted_home(Delivery::Gapless, script.clone(), RivuletConfig::default(), seed);
+        let mut s = scripted_home(
+            Delivery::Gapless,
+            script.clone(),
+            RivuletConfig::default(),
+            seed,
+        );
         let dev = s.home.sensor_actor(s.sensor);
         let tv = s.home.actor_of(s.pids[1]);
         s.net.topology_mut().set_loss(dev, tv, 0.4);

@@ -25,18 +25,20 @@ fn standard_home(delivery: Delivery, seed: u64, timeout: Duration) -> Setup {
     let mut net = SimNet::new(SimConfig::with_seed(seed));
     let config = RivuletConfig::default().with_failure_timeout(timeout);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
-    let pids: Vec<ProcessId> =
-        (0..5).map(|i| home.add_host(format!("host{i}"))).collect();
+    let pids: Vec<ProcessId> = (0..5).map(|i| home.add_host(format!("host{i}"))).collect();
     let (sensor, emissions) = home.add_push_sensor(
         "motion",
         PayloadSpec::KindOnly(EventKind::Motion),
         EmissionSchedule::Periodic(Duration::from_millis(100)),
         &pids,
     );
-    let (anchor, _) =
-        home.add_actuator("anchor", ActuationState::Switch(false), &[pids[0]]);
+    let (anchor, _) = home.add_actuator("anchor", ActuationState::Switch(false), &[pids[0]]);
     let app = AppBuilder::new(AppId(1), "activity")
-        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut OpCtx, _: &CombinedWindows| {},
+        )
         .sensor(sensor, delivery, WindowSpec::count(1))
         .actuator(anchor, delivery)
         .done()
@@ -44,7 +46,13 @@ fn standard_home(delivery: Delivery, seed: u64, timeout: Duration) -> Setup {
         .expect("valid app");
     let probe = home.add_app(app);
     let home = home.build();
-    Setup { net, home, probe, emissions, pids }
+    Setup {
+        net,
+        home,
+        probe,
+        emissions,
+        pids,
+    }
 }
 
 #[test]
@@ -97,8 +105,14 @@ fn gap_failover_gap_scales_with_detection_threshold() {
         fast < slow,
         "shorter detection must lose fewer events: {fast} vs {slow}"
     );
-    assert!((5..=20).contains(&fast), "1s threshold ≈10 events, got {fast}");
-    assert!((30..=55).contains(&slow), "4s threshold ≈40 events, got {slow}");
+    assert!(
+        (5..=20).contains(&fast),
+        "1s threshold ≈10 events, got {fast}"
+    );
+    assert!(
+        (30..=55).contains(&slow),
+        "4s threshold ≈40 events, got {slow}"
+    );
 }
 
 #[test]

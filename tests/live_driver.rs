@@ -35,8 +35,7 @@ fn door_light_pipeline_runs_on_threads() {
         EmissionSchedule::Periodic(Duration::from_millis(150)),
         &[tv],
     );
-    let (light, light_probe) =
-        home.add_actuator("light", ActuationState::Switch(false), &[hub]);
+    let (light, light_probe) = home.add_actuator("light", ActuationState::Switch(false), &[hub]);
     let app = AppBuilder::new(AppId(1), "door-light")
         .operator(
             "TurnLightOnOff",
@@ -61,7 +60,8 @@ fn door_light_pipeline_runs_on_threads() {
         probe.unique_delivered()
     );
     assert!(
-        wait_until(StdDuration::from_secs(5), || light_probe.effect_count() >= 5),
+        wait_until(StdDuration::from_secs(5), || light_probe.effect_count()
+            >= 5),
         "the light must actuate"
     );
     assert_eq!(light_probe.state(), ActuationState::Switch(true));

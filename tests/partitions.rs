@@ -9,9 +9,7 @@ use rivulet::core::deploy::HomeBuilder;
 use rivulet::core::RivuletConfig;
 use rivulet::devices::sensor::{EmissionSchedule, PayloadSpec};
 use rivulet::net::sim::{SimConfig, SimNet};
-use rivulet::types::{
-    ActuationState, ActuatorId, AppId, Duration, EventKind, Time,
-};
+use rivulet::types::{ActuationState, ActuatorId, AppId, Duration, EventKind, Time};
 
 /// Logic that unconditionally sets a switch on every event (idempotent
 /// actuation).
@@ -57,7 +55,11 @@ fn full_partition_promotes_both_sides_and_heals() {
     );
     let (anchor, _) = home.add_actuator("anchor", ActuationState::Switch(false), &[a]);
     let app = AppBuilder::new(AppId(1), "watch")
-        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut OpCtx, _: &CombinedWindows| {},
+        )
         .sensor(sensor, Delivery::Gapless, WindowSpec::count(1))
         .actuator(anchor, Delivery::Gapless)
         .done()
@@ -89,11 +91,7 @@ fn full_partition_promotes_both_sides_and_heals() {
     );
     // During the partition both sides process their locally received
     // events: deliveries attributed to both processes.
-    let by_b = probe
-        .deliveries()
-        .iter()
-        .filter(|d| d.by == b)
-        .count();
+    let by_b = probe.deliveries().iter().filter(|d| d.by == b).count();
     assert!(by_b > 10, "side-b processed during the partition: {by_b}");
 }
 
@@ -111,8 +109,7 @@ fn idempotent_actuation_is_safe_under_dual_actives() {
     );
     // The light is reachable from both sides (it is a device, not a
     // WiFi participant).
-    let (light, light_probe) =
-        home.add_actuator("light", ActuationState::Switch(false), &[a, b]);
+    let (light, light_probe) = home.add_actuator("light", ActuationState::Switch(false), &[a, b]);
     let app = AppBuilder::new(AppId(1), "lights")
         .operator("on", CombinerSpec::Any, SetOn { light })
         .sensor(sensor, Delivery::Gapless, WindowSpec::count(1))
@@ -133,7 +130,11 @@ fn idempotent_actuation_is_safe_under_dual_actives() {
     // the final state is simply on.
     assert_eq!(light_probe.state(), ActuationState::Switch(true));
     assert!(light_probe.effect_count() > 10, "both sides actuated");
-    assert_eq!(light_probe.duplicates_suppressed(), 0, "plain Set never refuses");
+    assert_eq!(
+        light_probe.duplicates_suppressed(),
+        0,
+        "plain Set never refuses"
+    );
 }
 
 #[test]
@@ -199,7 +200,11 @@ fn events_ingested_during_partition_survive_the_heal() {
     );
     let (anchor, _) = home.add_actuator("anchor", ActuationState::Switch(false), &[a]);
     let app = AppBuilder::new(AppId(1), "watch")
-        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut OpCtx, _: &CombinedWindows| {},
+        )
         .sensor(sensor, Delivery::Gapless, WindowSpec::count(1))
         .actuator(anchor, Delivery::Gapless)
         .done()

@@ -170,7 +170,11 @@ fn staleness_bound_filters_failover_backlog() {
     );
     let (anchor, _) = home.add_actuator("a", ActuationState::Switch(false), &[pids[0]]);
     let app = AppBuilder::new(AppId(1), "fresh-only")
-        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut OpCtx, _: &CombinedWindows| {},
+        )
         .sensor(motion, Delivery::Gapless, WindowSpec::count(1))
         .staleness_bound(Duration::from_millis(500))
         .actuator(anchor, Delivery::Gapless)

@@ -24,8 +24,9 @@ fn run_home(
     let mut net = SimNet::new(SimConfig::with_seed(seed));
     let config = RivuletConfig::default();
     let mut home = HomeBuilder::new(&mut net).with_config(config);
-    let pids: Vec<_> =
-        (0..n_processes).map(|i| home.add_host(format!("h{i}"))).collect();
+    let pids: Vec<_> = (0..n_processes)
+        .map(|i| home.add_host(format!("h{i}")))
+        .collect();
     // Receivers: non-empty subset of non-app processes derived from the mask.
     let mut receivers: Vec<_> = pids
         .iter()
@@ -45,7 +46,11 @@ fn run_home(
     );
     let (anchor, _) = home.add_actuator("a", ActuationState::Switch(false), &[pids[0]]);
     let app = AppBuilder::new(AppId(1), "sink")
-        .operator("sink", CombinerSpec::Any, |_: &mut OpCtx, _: &CombinedWindows| {})
+        .operator(
+            "sink",
+            CombinerSpec::Any,
+            |_: &mut OpCtx, _: &CombinedWindows| {},
+        )
         .sensor(sensor, delivery, WindowSpec::count(1))
         .actuator(anchor, delivery)
         .done()

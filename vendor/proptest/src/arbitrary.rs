@@ -1,0 +1,85 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Bias 1-in-8 draws toward boundary values; uniform
+                // sampling almost never exercises 0 / MAX paths
+                // (varint width changes, overflow guards).
+                if rng.gen_range(0u32..8) == 0 {
+                    const EDGES: [u64; 5] = [0, 1, 2, <$t>::MAX as u64, (<$t>::MAX as u64).wrapping_sub(1)];
+                    EDGES[rng.gen_range(0usize..EDGES.len())] as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                if rng.gen_range(0u32..8) == 0 {
+                    const EDGES: [i64; 5] = [0, 1, -1, <$t>::MAX as i64, <$t>::MIN as i64];
+                    EDGES[rng.gen_range(0usize..EDGES.len())] as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_signed!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1.0e9..=1.0e9)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1.0e6f32..=1.0e6)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u64>()` etc.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

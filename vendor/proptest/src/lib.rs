@@ -1,0 +1,197 @@
+//! Minimal offline subset of the `proptest` crate.
+//!
+//! Implements the slice of the proptest API the workspace uses:
+//! the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`prop_oneof!`], `any::<T>()`, range and tuple strategies,
+//! `collection::vec`, `option::of`, string strategies, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking**: failures report the failing case as generated.
+//! - **Deterministic seeding**: each test's RNG is seeded from its
+//!   function name, so runs are reproducible without a persistence
+//!   file.
+//! - **String strategies ignore the regex**: any `&str` pattern
+//!   generates arbitrary unicode strings (the workspace only uses
+//!   `".*"`).
+
+#[doc(hidden)]
+pub use rand;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[doc(hidden)]
+#[must_use]
+pub fn fnv1a_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs (default 256).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_mut)]
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::__proptest_cases!{ (config) ($name) ( $($params)* ) $body }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($config:ident) ($name:ident) ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block ) => {{
+        use $crate::strategy::Strategy as _;
+        let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+            $crate::fnv1a_seed(stringify!($name)),
+        );
+        let mut __accepted: u32 = 0;
+        let mut __attempts: u32 = 0;
+        let __max_attempts = $config.cases.saturating_mul(16).max(1024);
+        while __accepted < $config.cases {
+            __attempts += 1;
+            assert!(
+                __attempts <= __max_attempts,
+                "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                stringify!($name),
+                __accepted,
+                $config.cases,
+            );
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                $(let $pat = ($strat).sample(&mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            };
+            match __result {
+                ::std::result::Result::Ok(()) => __accepted += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {}: {}",
+                        stringify!($name),
+                        __accepted,
+                        msg,
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the harness can report it with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::BoxedStrategy::new($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,227 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// A recipe for generating values of [`Strategy::Value`].
+///
+/// Unlike upstream proptest there is no value-tree/shrinking layer:
+/// a strategy is just a deterministic sampler over an [`StdRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Debug + Clone,
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Debug + Clone,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Characters string strategies draw from: ASCII plus multi-byte
+/// UTF-8 of each encoded width, so wire-format tests exercise
+/// non-trivial encodings.
+const STRING_POOL: &[char] = &[
+    'a',
+    'b',
+    'z',
+    'A',
+    'Z',
+    '0',
+    '9',
+    ' ',
+    '\t',
+    '\n',
+    '\0',
+    '"',
+    '\\',
+    '/',
+    '{',
+    '}',
+    '[',
+    ']',
+    ':',
+    ',',
+    '~',
+    '\u{7f}',
+    'é',
+    'ß',
+    'Ω',
+    'λ',
+    '中',
+    '日',
+    '\u{1f980}',
+    '\u{1f600}',
+    '\u{10348}',
+];
+
+/// `&str` regex patterns act as string strategies. Only `".*"`-style
+/// "any string" generation is supported: the pattern itself is ignored
+/// and an arbitrary short unicode string is produced.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0usize..=32);
+        (0..len)
+            .map(|_| STRING_POOL[rng.gen_range(0usize..STRING_POOL.len())])
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Debug> BoxedStrategy<V> {
+    /// Erases `strategy`'s concrete type.
+    pub fn new<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Self {
+            inner: Box::new(strategy),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut StdRng) -> V {
+        self.inner.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice among several strategies; backs `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0usize..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}

@@ -1,0 +1,55 @@
+//! Test-runner configuration and per-case error type.
+
+/// Configuration for a `proptest!` block, set via
+/// `#![proptest_config(ProptestConfig { cases: N, ..ProptestConfig::default() })]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must run.
+    pub cases: u32,
+    /// Upstream-compat knob; shrinking is not implemented, so unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor mirroring upstream.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of one generated case, produced by the `prop_assert*` and
+/// `prop_assume!` macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was invalid for this property; try another input.
+    Reject(String),
+    /// The property does not hold for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
