@@ -1,0 +1,31 @@
+//! Micro-benchmark of the process fan-out path: the pre-optimization
+//! per-peer re-encode vs encode-once + frame coalescing, over the
+//! ring and broadcast-heavy activation shapes. The same workload
+//! functions back the `bench` binary that emits `BENCH_fanout.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rivulet_bench::fanout::{activation_msgs, fan_out_coalesced, fan_out_naive, MicroWorkload};
+use rivulet_types::wire::WriterPool;
+use std::hint::black_box;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_fanout");
+    for (label, w) in [
+        ("broadcast_heavy", MicroWorkload::broadcast_heavy()),
+        ("ring", MicroWorkload::ring()),
+    ] {
+        let msgs = activation_msgs(&w, 0);
+        group.throughput(Throughput::Elements(w.batch as u64));
+        group.bench_with_input(BenchmarkId::new("naive", label), &msgs, |b, msgs| {
+            b.iter(|| black_box(fan_out_naive(msgs, w.peers)));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_once", label), &msgs, |b, msgs| {
+            let mut pool = WriterPool::new();
+            b.iter(|| black_box(fan_out_coalesced(msgs, w.peers, &mut pool)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -10,12 +10,13 @@
 use std::sync::Arc;
 
 use rivulet_core::app::{AppBuilder, CombinerSpec, WindowSpec};
-use rivulet_core::config::ForwardingMode;
+use rivulet_core::config::{AckMode, ForwardingMode};
 use rivulet_core::delivery::Delivery;
 use rivulet_core::deploy::{Home, HomeBuilder};
 use rivulet_core::probe::{AppProbe, DeliveryRecord};
 use rivulet_core::RivuletConfig;
 use rivulet_devices::sensor::{EmissionProbe, EmissionSchedule, PayloadSpec};
+use rivulet_net::metrics::FanoutSnapshot;
 use rivulet_net::sim::{SimConfig, SimNet};
 use rivulet_types::{AppId, Duration, EventKind, ProcessId, Time};
 
@@ -63,6 +64,11 @@ pub struct DeliveryScenario {
     pub crash_app_at: Option<Time>,
     /// Failure-detection threshold (2 s in §8.4).
     pub failure_timeout: Duration,
+    /// Same-destination frame coalescing on the process send path.
+    pub coalescing: bool,
+    /// Broadcast acknowledgement mode (cumulative keep-alive
+    /// watermarks vs per-event acks).
+    pub ack_mode: AckMode,
     /// RNG seed.
     pub seed: u64,
 }
@@ -83,6 +89,8 @@ impl DeliveryScenario {
             loss: 0.0,
             crash_app_at: None,
             failure_timeout: Duration::from_secs(2),
+            coalescing: true,
+            ack_mode: AckMode::Cumulative,
             seed: 42,
         }
     }
@@ -106,6 +114,8 @@ pub struct DeliveryOutcome {
     pub deliveries: Vec<DeliveryRecord>,
     /// Promotion/demotion history.
     pub transitions: Vec<(Time, ProcessId, bool)>,
+    /// Encode-once / coalescing savings recorded during the run.
+    pub fanout: FanoutSnapshot,
 }
 
 impl DeliveryOutcome {
@@ -145,7 +155,9 @@ pub fn run_delivery_with_probes(
     let mut net = SimNet::new(SimConfig::with_seed(cfg.seed));
     let config = RivuletConfig::default()
         .with_failure_timeout(cfg.failure_timeout)
-        .with_forwarding(cfg.forwarding);
+        .with_forwarding(cfg.forwarding)
+        .with_coalescing(cfg.coalescing)
+        .with_ack_mode(cfg.ack_mode);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     let pids: Vec<ProcessId> = (0..cfg.n_processes)
         .map(|i| home.add_host(format!("host{i}")))
@@ -206,6 +218,7 @@ pub fn run_delivery_with_probes(
         wifi_bytes: net.metrics().wifi_bytes,
         deliveries: app_probe.deliveries(),
         transitions: app_probe.transitions(),
+        fanout: net.metrics().fanout.snapshot(),
     };
     (outcome, emission_probe, app_probe)
 }
@@ -220,7 +233,9 @@ pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
     let mut net = SimNet::new(SimConfig::with_seed(quiet.seed));
     let config = RivuletConfig::default()
         .with_failure_timeout(quiet.failure_timeout)
-        .with_forwarding(quiet.forwarding);
+        .with_forwarding(quiet.forwarding)
+        .with_coalescing(quiet.coalescing)
+        .with_ack_mode(quiet.ack_mode);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     let pids: Vec<ProcessId> = (0..quiet.n_processes)
         .map(|i| home.add_host(format!("host{i}")))

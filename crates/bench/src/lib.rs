@@ -16,11 +16,13 @@
 //! | [`fig7`] | Fig. 7 — failover timeline around an induced process crash |
 //! | [`fig8`] | Fig. 8 — coordinated vs uncoordinated polling overhead |
 //! | [`tables`] | Tables 1 and 3 — app and sensor surveys |
+//! | [`fanout`] | encode-once fan-out + frame coalescing throughput (`BENCH_fanout.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod fanout;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;

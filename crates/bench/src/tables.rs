@@ -1,10 +1,11 @@
-//! Tables 1 and 3 — the application and sensor surveys — and the
-//! Fig. 2 deployment diagram, rendered as text for the `figures`
-//! binary.
+//! Tables 1 and 3 — the application and sensor surveys — the Fig. 2
+//! deployment diagram, and the fan-out coalescing counter table,
+//! rendered as text for the `figures` and `bench` binaries.
 
 use rivulet_core::app::catalog as app_catalog;
 use rivulet_core::execution::placement::{chain_for, Reachability};
 use rivulet_devices::catalog as device_catalog;
+use rivulet_net::metrics::FanoutSnapshot;
 use rivulet_types::{ActuatorId, ProcessId, SensorId};
 
 /// Renders Table 1 (applications and their delivery guarantees).
@@ -110,6 +111,28 @@ pub fn render_fig2() -> String {
     out
 }
 
+/// Renders the encode-once / frame-coalescing counters of a set of
+/// labelled runs as one table (consumed by the `bench` binary next to
+/// `BENCH_fanout.json`).
+#[must_use]
+pub fn render_fanout_table(rows: &[(String, FanoutSnapshot)]) -> String {
+    let mut out = String::from("Fan-out savings: frames coalesced / messages avoided / encode bytes saved / acks avoided\n");
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>12} {:>16} {:>12}\n",
+        "run", "frames", "msgs-avoid", "enc-bytes-saved", "acks-avoid"
+    ));
+    for (label, snap) in rows {
+        out.push_str(&format!(
+            "{label:<24} {:>10} {:>12} {:>16} {:>12}\n",
+            snap.frames_coalesced,
+            snap.messages_avoided,
+            snap.encode_bytes_saved,
+            snap.acks_avoided
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +162,25 @@ mod tests {
         let tv_line = f2.lines().find(|l| l.starts_with("tv")).unwrap();
         assert!(tv_line.starts_with("tv"));
         assert_eq!(tv_line.matches("active").count(), 1, "TV: active DS only");
+    }
+
+    #[test]
+    fn fanout_table_renders_every_row() {
+        let rows = vec![
+            (
+                "ring/after".to_owned(),
+                FanoutSnapshot {
+                    frames_coalesced: 3,
+                    messages_avoided: 4,
+                    encode_bytes_saved: 1024,
+                    acks_avoided: 7,
+                },
+            ),
+            ("ring/before".to_owned(), FanoutSnapshot::default()),
+        ];
+        let t = render_fanout_table(&rows);
+        assert_eq!(t.lines().count(), 2 + rows.len());
+        assert!(t.contains("ring/after"));
+        assert!(t.contains("1024"));
     }
 }

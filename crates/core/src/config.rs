@@ -14,6 +14,25 @@ pub enum ForwardingMode {
     EagerBroadcast,
 }
 
+/// How reliable-broadcast deliveries are acknowledged back to the
+/// broadcast origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Per-sensor *received* watermarks piggybacked on the keep-alive
+    /// beacon retire pending retransmissions cumulatively: one beacon
+    /// acknowledges every broadcast the peer has durably received, so
+    /// no per-event ack messages exist on the wire. Acknowledgement
+    /// latency is bounded by the keep-alive interval, which equals the
+    /// retransmit interval by default — at most one redundant
+    /// retransmission in the worst case.
+    Cumulative,
+    /// The original protocol: every `Broadcast` receipt immediately
+    /// sends a dedicated `BroadcastAck`. Kept as a fallback for
+    /// experiments that measure per-event acknowledgement latency
+    /// (Fig. 7 failover timing).
+    PerEvent,
+}
+
 /// Tunable parameters of a Rivulet process.
 ///
 /// Defaults follow the paper's evaluation setup: keep-alives every
@@ -47,6 +66,16 @@ pub struct RivuletConfig {
     /// can never be needed by a failover replay again; disabling this
     /// keeps full history (useful for debugging).
     pub store_gc: bool,
+    /// Whether messages queued to the same destination within one actor
+    /// activation are coalesced into a single multi-command frame.
+    /// Batching points derive from virtual-time activations only, so
+    /// coalescing never changes what is delivered or per-stream order —
+    /// only per-message transport overhead. Disable to measure the
+    /// uncoalesced baseline.
+    pub coalescing: bool,
+    /// How broadcast deliveries are acknowledged (cumulative watermarks
+    /// by default; per-event acks as a fallback).
+    pub ack_mode: AckMode,
 }
 
 impl Default for RivuletConfig {
@@ -60,6 +89,8 @@ impl Default for RivuletConfig {
             repoll_margin: Duration::from_millis(200),
             forwarding: ForwardingMode::Ring,
             store_gc: true,
+            coalescing: true,
+            ack_mode: AckMode::Cumulative,
         }
     }
 }
@@ -100,6 +131,22 @@ impl RivuletConfig {
         self.store_gc = enabled;
         self
     }
+
+    /// Returns a config with same-destination frame coalescing enabled
+    /// or disabled.
+    #[must_use]
+    pub fn with_coalescing(mut self, enabled: bool) -> Self {
+        self.coalescing = enabled;
+        self
+    }
+
+    /// Returns a config with the broadcast acknowledgement mode
+    /// replaced.
+    #[must_use]
+    pub fn with_ack_mode(mut self, mode: AckMode) -> Self {
+        self.ack_mode = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +159,17 @@ mod tests {
         assert_eq!(c.failure_timeout, Duration::from_secs(2));
         assert_eq!(c.keepalive_interval, Duration::from_millis(500));
         assert!(c.anti_entropy);
+        assert!(c.coalescing, "coalescing is on by default");
+        assert_eq!(c.ack_mode, AckMode::Cumulative);
+    }
+
+    #[test]
+    fn coalescing_and_ack_builders() {
+        let c = RivuletConfig::default()
+            .with_coalescing(false)
+            .with_ack_mode(AckMode::PerEvent);
+        assert!(!c.coalescing);
+        assert_eq!(c.ack_mode, AckMode::PerEvent);
     }
 
     #[test]

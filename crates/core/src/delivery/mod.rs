@@ -46,6 +46,16 @@ pub enum Action {
         /// The message.
         msg: ProcMsg,
     },
+    /// Send one protocol message to several peers. The process layer
+    /// encodes the message once and cheap-clones the frozen bytes to
+    /// every destination, so an n-peer flood costs one encode instead
+    /// of n.
+    Fanout {
+        /// Destination processes, ascending, excluding the sender.
+        to: Vec<ProcessId>,
+        /// The message.
+        msg: ProcMsg,
+    },
     /// The event is newly known at this process: hand it to the local
     /// logic node (the process delivers it only if its logic node is
     /// active).

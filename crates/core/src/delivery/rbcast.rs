@@ -8,9 +8,9 @@
 //! model, after Boichat & Guerraoui), which tolerates the origin
 //! crashing mid-broadcast.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
-use rivulet_types::{Event, EventId, ProcessId};
+use rivulet_types::{Event, EventId, ProcessId, SensorId};
 
 use crate::messages::ProcMsg;
 
@@ -21,8 +21,9 @@ use super::Action;
 pub struct RbcastState {
     me: ProcessId,
     /// Broadcasts this process originated (or relayed) that still await
-    /// acknowledgements.
-    pending: HashMap<EventId, PendingBroadcast>,
+    /// acknowledgements. Ordered so retransmission order is a pure
+    /// function of protocol state (determinism).
+    pending: BTreeMap<EventId, PendingBroadcast>,
     /// Events this process has already relayed, to bound re-flooding.
     relayed: BTreeSet<EventId>,
 }
@@ -39,7 +40,7 @@ impl RbcastState {
     pub fn new(me: ProcessId) -> Self {
         Self {
             me,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             relayed: BTreeSet::new(),
         }
     }
@@ -51,23 +52,20 @@ impl RbcastState {
     }
 
     /// Initiates (or re-initiates) a broadcast of `event` to every peer
-    /// in `view` except `me`.
+    /// in `view` except `me`, as a single encode-once fan-out action.
     pub fn start(&mut self, event: Event, view: &[ProcessId]) -> Vec<Action> {
         let peers: BTreeSet<ProcessId> = view.iter().copied().filter(|p| *p != self.me).collect();
         if peers.is_empty() {
             return Vec::new();
         }
         self.relayed.insert(event.id);
-        let actions = peers
-            .iter()
-            .map(|p| Action::Send {
-                to: *p,
-                msg: ProcMsg::Broadcast {
-                    event: event.clone(),
-                    origin: self.me,
-                },
-            })
-            .collect();
+        let actions = vec![Action::Fanout {
+            to: peers.iter().copied().collect(),
+            msg: ProcMsg::Broadcast {
+                event: event.clone(),
+                origin: self.me,
+            },
+        }];
         self.pending.insert(
             event.id,
             PendingBroadcast {
@@ -78,23 +76,30 @@ impl RbcastState {
         actions
     }
 
-    /// A broadcast copy arrived. Returns the ack to the origin plus —
-    /// if `was_new` and not already relayed — a relay flood of our own,
-    /// making delivery survive origin crashes.
+    /// A broadcast copy arrived. With `eager_ack` (the `PerEvent` ack
+    /// mode) the origin gets an immediate `BroadcastAck`; otherwise the
+    /// receipt is acknowledged cumulatively by the *received* watermark
+    /// on our next keep-alive beacon. Either way, if `was_new` and not
+    /// already relayed, a relay flood of our own makes delivery survive
+    /// origin crashes.
     pub fn on_broadcast(
         &mut self,
         event: &Event,
         origin: ProcessId,
         was_new: bool,
         view: &[ProcessId],
+        eager_ack: bool,
     ) -> Vec<Action> {
-        let mut actions = vec![Action::Send {
-            to: origin,
-            msg: ProcMsg::BroadcastAck {
-                id: event.id,
-                from: self.me,
-            },
-        }];
+        let mut actions = Vec::new();
+        if eager_ack {
+            actions.push(Action::Send {
+                to: origin,
+                msg: ProcMsg::BroadcastAck {
+                    id: event.id,
+                    from: self.me,
+                },
+            });
+        }
         if was_new && !self.relayed.contains(&event.id) {
             actions.extend(self.start(event.clone(), view));
         }
@@ -111,25 +116,52 @@ impl RbcastState {
         }
     }
 
+    /// A peer's cumulative *received* watermarks arrived (piggybacked
+    /// on its keep-alive). Every pending broadcast whose event is
+    /// covered by the peer's watermark is acknowledged at once — one
+    /// beacon retires arbitrarily many per-event acks. Returns how many
+    /// pending entries this ack retired for `from`.
+    ///
+    /// Retirement is by *highest received* seq, consistent with the
+    /// Bayou-style sync the store already implements: anti-entropy
+    /// never back-fills below a peer's watermark, so retransmitting
+    /// below it could never terminate and acking it loses nothing.
+    pub fn on_cumulative_ack(&mut self, from: ProcessId, received: &[(SensorId, u64)]) -> usize {
+        if self.pending.is_empty() || received.is_empty() {
+            return 0;
+        }
+        let mut retired = 0;
+        self.pending.retain(|id, p| {
+            let covered = received
+                .iter()
+                .any(|(sensor, wm)| *sensor == id.sensor && id.seq <= *wm);
+            if covered && p.unacked.remove(&from) {
+                retired += 1;
+            }
+            !p.unacked.is_empty()
+        });
+        retired
+    }
+
     /// Periodic retransmission tick: re-send pending broadcasts to
     /// still-unacked peers that remain in the view; peers that left the
-    /// view are written off (they will recover via anti-entropy).
+    /// view are written off (they will recover via anti-entropy). Each
+    /// pending event becomes one fan-out action to its unacked peers.
     pub fn on_tick(&mut self, view: &[ProcessId]) -> Vec<Action> {
         let mut actions = Vec::new();
+        let me = self.me;
         self.pending.retain(|_, p| {
             p.unacked.retain(|peer| view.contains(peer));
             if p.unacked.is_empty() {
                 return false;
             }
-            for peer in &p.unacked {
-                actions.push(Action::Send {
-                    to: *peer,
-                    msg: ProcMsg::Broadcast {
-                        event: p.event.clone(),
-                        origin: self.me,
-                    },
-                });
-            }
+            actions.push(Action::Fanout {
+                to: p.unacked.iter().copied().collect(),
+                msg: ProcMsg::Broadcast {
+                    event: p.event.clone(),
+                    origin: me,
+                },
+            });
             true
         });
         actions
@@ -156,12 +188,16 @@ mod tests {
     fn send_targets(actions: &[Action]) -> Vec<ProcessId> {
         actions
             .iter()
-            .filter_map(|a| match a {
+            .flat_map(|a| match a {
                 Action::Send {
                     to,
                     msg: ProcMsg::Broadcast { .. },
-                } => Some(*to),
-                _ => None,
+                } => vec![*to],
+                Action::Fanout {
+                    to,
+                    msg: ProcMsg::Broadcast { .. },
+                } => to.clone(),
+                _ => Vec::new(),
             })
             .collect()
     }
@@ -213,7 +249,7 @@ mod tests {
     fn receiver_acks_and_relays_new_events_once() {
         let mut b = RbcastState::new(ProcessId(1));
         let view = pids(&[0, 1, 2]);
-        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, true);
         // First action: ack to origin.
         assert!(matches!(
             actions[0],
@@ -225,7 +261,7 @@ mod tests {
         // Relay flood to peers.
         assert_eq!(send_targets(&actions), pids(&[0, 2]));
         // Second receipt: ack only, no re-relay.
-        let again = b.on_broadcast(&ev(0), ProcessId(2), false, &view);
+        let again = b.on_broadcast(&ev(0), ProcessId(2), false, &view, true);
         assert_eq!(again.len(), 1);
         assert!(matches!(
             again[0],
@@ -240,8 +276,68 @@ mod tests {
     fn known_event_not_relayed() {
         let mut b = RbcastState::new(ProcessId(1));
         let view = pids(&[0, 1, 2]);
-        let actions = b.on_broadcast(&ev(0), ProcessId(0), false, &view);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), false, &view, true);
         assert_eq!(actions.len(), 1, "ack only for already-known events");
+    }
+
+    #[test]
+    fn cumulative_mode_skips_eager_ack_but_still_relays() {
+        let mut b = RbcastState::new(ProcessId(1));
+        let view = pids(&[0, 1, 2]);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, false);
+        assert!(
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: ProcMsg::BroadcastAck { .. },
+                    ..
+                }
+            )),
+            "no per-event ack in cumulative mode"
+        );
+        assert_eq!(send_targets(&actions), pids(&[0, 2]), "relay still floods");
+    }
+
+    #[test]
+    fn cumulative_ack_retires_all_covered_events() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let view = pids(&[0, 1, 2]);
+        for seq in 0..4 {
+            let _ = b.start(ev(seq), &view);
+        }
+        assert_eq!(b.pending_count(), 4);
+        // Peer 1's beacon covers seqs 0..=2 in one message.
+        assert_eq!(b.on_cumulative_ack(ProcessId(1), &[(SensorId(1), 2)]), 3);
+        assert_eq!(b.pending_count(), 4, "peer 2 still unacked everywhere");
+        assert_eq!(b.on_cumulative_ack(ProcessId(2), &[(SensorId(1), 2)]), 3);
+        assert_eq!(b.pending_count(), 1, "only seq 3 outstanding");
+        // Watermark below remaining seq retires nothing; other sensors
+        // are ignored.
+        assert_eq!(b.on_cumulative_ack(ProcessId(1), &[(SensorId(9), 100)]), 0);
+        assert_eq!(b.on_cumulative_ack(ProcessId(1), &[(SensorId(1), 3)]), 1);
+        assert_eq!(b.on_cumulative_ack(ProcessId(2), &[(SensorId(1), 3)]), 1);
+        assert_eq!(b.pending_count(), 0);
+    }
+
+    #[test]
+    fn retransmissions_are_ordered_fanouts() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let view = pids(&[0, 1, 2]);
+        let _ = b.start(ev(1), &view);
+        let _ = b.start(ev(0), &view);
+        let actions = b.on_tick(&view);
+        // One fan-out per pending event, in EventId order.
+        let seqs: Vec<u64> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Fanout {
+                    msg: ProcMsg::Broadcast { event, .. },
+                    ..
+                } => event.id.seq,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
     }
 
     #[test]

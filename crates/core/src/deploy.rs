@@ -18,6 +18,7 @@ use rivulet_devices::value::ValueModel;
 use rivulet_net::actor::{Actor, ActorId};
 use rivulet_net::link::ActorClass;
 use rivulet_net::live::LiveNet;
+use rivulet_net::metrics::FanoutStats;
 use rivulet_net::sim::SimNet;
 use rivulet_types::{ActuationState, ActuatorId, Duration, ProcessId, SensorId};
 
@@ -114,6 +115,11 @@ pub trait Driver {
         class: ActorClass,
         factory: Box<dyn FnMut() -> Box<dyn Actor> + Send>,
     ) -> ActorId;
+
+    /// The driver's shared fan-out statistics handle. Every process
+    /// actor records its encode-once / coalescing savings into this
+    /// instance, and the driver reports them via its net metrics.
+    fn fanout_stats(&self) -> Arc<FanoutStats>;
 }
 
 impl Driver for SimNet {
@@ -125,6 +131,10 @@ impl Driver for SimNet {
     ) -> ActorId {
         self.add_actor(name, class, move || factory())
     }
+
+    fn fanout_stats(&self) -> Arc<FanoutStats> {
+        Arc::clone(&self.metrics().fanout)
+    }
 }
 
 impl Driver for LiveNet {
@@ -135,6 +145,10 @@ impl Driver for LiveNet {
         mut factory: Box<dyn FnMut() -> Box<dyn Actor> + Send>,
     ) -> ActorId {
         self.add_actor(name, class, move || factory())
+    }
+
+    fn fanout_stats(&self) -> Arc<FanoutStats> {
+        Arc::clone(&self.metrics().fanout)
     }
 }
 
@@ -399,6 +413,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
         let directory = Directory::new();
 
         // Processes first (they defer directory reads to start-up).
+        let fanout = self.driver.fanout_stats();
         let mut processes = Vec::new();
         for (i, name) in self.hosts.iter().enumerate() {
             let pid = ProcessId(i as u32);
@@ -413,6 +428,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                     checkpoint_interval: plan.checkpoint_interval,
                 }),
                 store_probe: self.store_probe.clone(),
+                fanout: Arc::clone(&fanout),
             };
             let actor = self.driver.add_boxed_actor(
                 name,

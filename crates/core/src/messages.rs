@@ -6,7 +6,7 @@
 //! `seen`/`need` metadata sets, which the paper notes dominate overhead
 //! at small event sizes.
 
-use rivulet_types::wire::{Wire, WireError, WireReader, WireWriter};
+use rivulet_types::wire::{varint_len, Wire, WireError, WireReader, WireWriter};
 use rivulet_types::{Command, Event, EventId, ProcessId, SensorId};
 
 /// A message between two Rivulet processes.
@@ -25,6 +25,13 @@ pub enum ProcMsg {
         /// `(sensor, highest seq processed by an active logic node at
         /// the sender)`; empty for pure shadows.
         processed: Vec<(SensorId, u64)>,
+        /// `(sensor, highest seq durably received at the sender)` —
+        /// cumulative ack watermarks piggybacked on the beacon. A
+        /// broadcast origin retires every pending retransmission whose
+        /// seq is covered by the peer's watermark, replacing the
+        /// per-event [`ProcMsg::BroadcastAck`] storm (see
+        /// `AckMode::Cumulative`). Empty until the first delivery.
+        received: Vec<(SensorId, u64)>,
     },
     /// Gapless ring forwarding: `(e : S : V)` from the paper — the
     /// event, the processes that have **seen** it, and the processes
@@ -107,7 +114,11 @@ impl ProcMsg {
 impl Wire for ProcMsg {
     fn encoded_len(&self) -> usize {
         1 + match self {
-            ProcMsg::KeepAlive { from, processed } => from.encoded_len() + processed.encoded_len(),
+            ProcMsg::KeepAlive {
+                from,
+                processed,
+                received,
+            } => from.encoded_len() + processed.encoded_len() + received.encoded_len(),
             ProcMsg::Ring { event, seen, need } => {
                 event.encoded_len() + seen.encoded_len() + need.encoded_len()
             }
@@ -126,9 +137,14 @@ impl Wire for ProcMsg {
     fn encode(&self, w: &mut WireWriter) {
         w.put_u8(self.tag());
         match self {
-            ProcMsg::KeepAlive { from, processed } => {
+            ProcMsg::KeepAlive {
+                from,
+                processed,
+                received,
+            } => {
                 from.encode(w);
                 processed.encode(w);
+                received.encode(w);
             }
             ProcMsg::Ring { event, seen, need } => {
                 event.encode(w);
@@ -159,6 +175,7 @@ impl Wire for ProcMsg {
             0 => Ok(ProcMsg::KeepAlive {
                 from: ProcessId::decode(r)?,
                 processed: Vec::decode(r)?,
+                received: Vec::decode(r)?,
             }),
             1 => Ok(ProcMsg::Ring {
                 event: Event::decode(r)?,
@@ -194,6 +211,122 @@ impl Wire for ProcMsg {
     }
 }
 
+/// Tag byte introducing a multi-command [`Frame`].
+///
+/// Deliberately far from the dense `ProcMsg` tag range (0..=8) so the
+/// receive path can dispatch frame-vs-single on the first byte, and a
+/// corrupted frame tag cannot silently decode as a plausible message.
+pub const FRAME_TAG: u8 = 0xC0;
+
+/// A length-prefixed batch of [`ProcMsg`]s coalesced onto one network
+/// message.
+///
+/// When one actor activation queues several messages to the same
+/// destination (a ring burst forwarded downstream, a WAL group-commit
+/// releasing gated sends, an anti-entropy exchange), they travel as one
+/// frame: one scheduler event, one [`FRAME_HEADER_BYTES`] transport
+/// charge, one link traversal.
+///
+/// Wire layout: `FRAME_TAG`, varint message count (must be ≥ 1), then
+/// per message a varint byte-length followed by exactly that many bytes
+/// of `ProcMsg` encoding. The per-message length prefix means a frame
+/// can be assembled by concatenating *pre-encoded* message bytes
+/// ([`Frame::encode_parts`]) without re-encoding, and decoded
+/// incrementally with strict bounds checking.
+///
+/// [`FRAME_HEADER_BYTES`]: rivulet_types::wire::FRAME_HEADER_BYTES
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The batched messages, in send order.
+    pub msgs: Vec<ProcMsg>,
+}
+
+impl Frame {
+    /// Returns whether `payload` starts with the frame tag (cheap
+    /// receive-path dispatch; the full decode still validates).
+    #[must_use]
+    pub fn sniff(payload: &[u8]) -> bool {
+        payload.first() == Some(&FRAME_TAG)
+    }
+
+    /// Assembles the frame encoding directly from pre-encoded message
+    /// bytes, byte-identical to encoding the equivalent `Frame` value.
+    /// This is the hot-path entry: the fan-out encodes each `ProcMsg`
+    /// once and coalescing concatenates the frozen buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `parts` is empty — callers only
+    /// build frames for ≥ 2 queued messages.
+    #[must_use]
+    pub fn encode_parts(w: &mut WireWriter, parts: &[bytes::Bytes]) -> bytes::Bytes {
+        debug_assert!(!parts.is_empty(), "never emit an empty frame");
+        let body: usize = parts
+            .iter()
+            .map(|p| varint_len(p.len() as u64) + p.len())
+            .sum();
+        w.reserve(1 + varint_len(parts.len() as u64) + body);
+        w.put_u8(FRAME_TAG);
+        w.put_varint(parts.len() as u64);
+        for part in parts {
+            w.put_varint(part.len() as u64);
+            w.put_slice(part);
+        }
+        w.take_bytes()
+    }
+}
+
+impl Wire for Frame {
+    fn encoded_len(&self) -> usize {
+        1 + varint_len(self.msgs.len() as u64)
+            + self
+                .msgs
+                .iter()
+                .map(|m| {
+                    let len = m.encoded_len();
+                    varint_len(len as u64) + len
+                })
+                .sum::<usize>()
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(FRAME_TAG);
+        w.put_varint(self.msgs.len() as u64);
+        for msg in &self.msgs {
+            w.put_varint(msg.encoded_len() as u64);
+            msg.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        if tag != FRAME_TAG {
+            return Err(WireError::InvalidTag { ty: "Frame", tag });
+        }
+        let count = r.get_len()?;
+        if count == 0 {
+            return Err(WireError::EmptyBatch);
+        }
+        let mut msgs = Vec::with_capacity(count.min(1_024));
+        for _ in 0..count {
+            let len = r.get_len()?;
+            // Each message must consume exactly its declared length: a
+            // shorter decode means an overlong length prefix smuggling
+            // trailing bytes, a longer one is caught by the sub-reader
+            // bounds.
+            let mut sub = r.sub_reader(len)?;
+            let msg = ProcMsg::decode(&mut sub)?;
+            if !sub.is_empty() {
+                return Err(WireError::LengthTooLarge {
+                    declared: len as u64,
+                });
+            }
+            msgs.push(msg);
+        }
+        Ok(Frame { msgs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,10 +346,12 @@ mod tests {
         roundtrip(&ProcMsg::KeepAlive {
             from: ProcessId(3),
             processed: vec![],
+            received: vec![],
         });
         roundtrip(&ProcMsg::KeepAlive {
             from: ProcessId(3),
             processed: vec![(SensorId(1), 99), (SensorId(2), 0)],
+            received: vec![(SensorId(1), 101)],
         });
         roundtrip(&ProcMsg::CmdForward {
             command: rivulet_types::Command::new(
@@ -269,8 +404,9 @@ mod tests {
         let ka = ProcMsg::KeepAlive {
             from: ProcessId(1),
             processed: vec![],
+            received: vec![],
         };
-        assert!(ka.encoded_len() <= 3, "keep-alive must stay cheap");
+        assert!(ka.encoded_len() <= 4, "keep-alive must stay cheap");
     }
 
     #[test]
@@ -281,6 +417,89 @@ mod tests {
                 ty: "ProcMsg",
                 tag: 200
             })
+        ));
+    }
+
+    #[test]
+    fn frame_tag_disjoint_from_procmsg_tags() {
+        // Receive-path dispatch relies on the first byte alone.
+        for tag in 0..=8u8 {
+            assert_ne!(tag, FRAME_TAG);
+        }
+        assert!(matches!(
+            ProcMsg::from_bytes(&[FRAME_TAG]),
+            Err(WireError::InvalidTag { ty: "ProcMsg", .. })
+        ));
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let frame = Frame {
+            msgs: vec![
+                ProcMsg::Ring {
+                    event: ev(1),
+                    seen: vec![ProcessId(0)],
+                    need: vec![ProcessId(0), ProcessId(1)],
+                },
+                ProcMsg::SyncRequest { from: ProcessId(2) },
+                ProcMsg::KeepAlive {
+                    from: ProcessId(2),
+                    processed: vec![],
+                    received: vec![(SensorId(1), 7)],
+                },
+            ],
+        };
+        roundtrip(&frame);
+        assert!(Frame::sniff(&frame.to_bytes()));
+    }
+
+    #[test]
+    fn encode_parts_matches_frame_encoding() {
+        let msgs = vec![
+            ProcMsg::GapForward { event: ev(9) },
+            ProcMsg::SyncRequest { from: ProcessId(1) },
+        ];
+        let parts: Vec<bytes::Bytes> = msgs.iter().map(Wire::to_bytes).collect();
+        let mut w = WireWriter::new();
+        let assembled = Frame::encode_parts(&mut w, &parts);
+        let reference = Frame { msgs }.to_bytes();
+        assert_eq!(assembled, reference, "concatenation must be canonical");
+    }
+
+    #[test]
+    fn frame_rejects_empty_batch() {
+        let mut w = WireWriter::new();
+        w.put_u8(FRAME_TAG);
+        w.put_varint(0);
+        assert_eq!(
+            Frame::from_bytes(&w.into_bytes()),
+            Err(WireError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_overlong_prefix() {
+        let frame = Frame {
+            msgs: vec![ProcMsg::SyncRequest { from: ProcessId(3) }],
+        };
+        let good = frame.to_bytes();
+        // Every strict prefix fails cleanly.
+        for cut in 0..good.len() {
+            assert!(Frame::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Overlong per-message length prefix: declare one byte more
+        // than the message occupies, padding with a trailing byte the
+        // inner decode will not consume.
+        let inner = ProcMsg::SyncRequest { from: ProcessId(3) }.to_bytes();
+        let mut w = WireWriter::new();
+        w.put_u8(FRAME_TAG);
+        w.put_varint(1);
+        w.put_varint(inner.len() as u64 + 1);
+        w.put_slice(&inner);
+        w.put_u8(0);
+        assert!(matches!(
+            Frame::from_bytes(&w.into_bytes()),
+            Err(WireError::LengthTooLarge { .. })
         ));
     }
 }
@@ -319,11 +538,16 @@ mod proptests {
         prop_oneof![
             (
                 any::<u32>(),
+                proptest::collection::vec((any::<u32>(), any::<u64>()), 0..6),
                 proptest::collection::vec((any::<u32>(), any::<u64>()), 0..6)
             )
-                .prop_map(|(from, processed)| ProcMsg::KeepAlive {
+                .prop_map(|(from, processed, received)| ProcMsg::KeepAlive {
                     from: ProcessId(from),
                     processed: processed
+                        .into_iter()
+                        .map(|(s, q)| (SensorId(s), q))
+                        .collect(),
+                    received: received
                         .into_iter()
                         .map(|(s, q)| (SensorId(s), q))
                         .collect(),
@@ -378,6 +602,39 @@ mod proptests {
                 bytes[pos] = bytes[pos].wrapping_add(delta);
                 let _ = ProcMsg::from_bytes(&bytes);
             }
+        }
+
+        /// Any batch of messages survives framing, both via the value
+        /// encoder and via hot-path concatenation of pre-encoded parts.
+        #[test]
+        fn any_frame_roundtrips(msgs in proptest::collection::vec(arb_msg(), 1..6)) {
+            let frame = Frame { msgs };
+            roundtrip(&frame);
+            let parts: Vec<bytes::Bytes> = frame.msgs.iter().map(Wire::to_bytes).collect();
+            let mut w = WireWriter::new();
+            prop_assert_eq!(Frame::encode_parts(&mut w, &parts), frame.to_bytes());
+        }
+
+        /// Truncating a valid frame at any point fails cleanly.
+        #[test]
+        fn truncated_frame_rejected(
+            msgs in proptest::collection::vec(arb_msg(), 1..4),
+            cut_seed in any::<usize>(),
+        ) {
+            let bytes = Frame { msgs }.to_bytes();
+            let cut = cut_seed % bytes.len(); // strict prefix
+            prop_assert!(Frame::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        /// Decoding attacker-controlled bytes as a frame never panics,
+        /// and junk that happens to start with the frame tag still
+        /// validates every inner length prefix.
+        #[test]
+        fn frame_junk_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Frame::from_bytes(&buf);
+            let mut tagged = vec![FRAME_TAG];
+            tagged.extend_from_slice(&buf);
+            let _ = Frame::from_bytes(&tagged);
         }
     }
 }

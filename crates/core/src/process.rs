@@ -21,13 +21,15 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use rivulet_devices::frame::RadioFrame;
 use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
-use rivulet_types::wire::Wire;
+use rivulet_net::metrics::FanoutStats;
+use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time};
 
 use crate::app::{AppRuntime, AppSpec, OpOutput, StreamKey};
-use crate::config::RivuletConfig;
+use crate::config::{AckMode, RivuletConfig};
 use crate::delivery::gap::{self, GapRole};
 use crate::delivery::gapless::GaplessState;
 use crate::delivery::polling::{PollState, PollStrategy};
@@ -36,7 +38,7 @@ use crate::delivery::{Action, Delivery};
 use crate::deploy::{Directory, DirectoryData};
 use crate::execution::{placement, ExecutionState, Transition};
 use crate::membership::Membership;
-use crate::messages::ProcMsg;
+use crate::messages::{Frame, ProcMsg};
 use crate::probe::{AppProbe, DeliveryRecord, StoreProbe};
 use rivulet_storage::{Checkpoint, FlushPolicy, StorageBackend, Wal, WalOptions};
 
@@ -98,6 +100,9 @@ pub struct ProcessSpec {
     pub storage: Option<DurabilitySpec>,
     /// Optional store-residency probe sampled on every tick.
     pub store_probe: Option<Arc<StoreProbe>>,
+    /// Shared counters for encode-once / coalescing savings, reported
+    /// through the driver's net metrics.
+    pub fanout: Arc<FanoutStats>,
 }
 
 impl std::fmt::Debug for ProcessSpec {
@@ -142,6 +147,10 @@ struct Initialized {
     /// Processed watermarks learned from peers' keep-alives, merged
     /// with our own processing.
     processed: HashMap<SensorId, u64>,
+    /// Durable-receipt watermarks: highest replicated-store seq per
+    /// sensor, advanced only after the durability gate. Advertised on
+    /// keep-alives as the cumulative broadcast acknowledgement.
+    received_marks: HashMap<SensorId, u64>,
     window_timers: Vec<(usize, OperatorId, StreamKey, Duration)>,
     cmd_seq: HashMap<OperatorId, u64>,
     last_successor: Option<ProcessId>,
@@ -150,6 +159,34 @@ struct Initialized {
     /// Delivery-service actions withheld until the WAL events they
     /// depend on are flushed (group commit).
     gated: Vec<Action>,
+    /// Per-activation send queue, flushed (and coalesced) at the end of
+    /// every actor activation.
+    outbox: Outbox,
+}
+
+/// Whether two part lists are clones of the same encodings: pointer
+/// identity of live buffers implies identical bytes (both lists are
+/// held alive by the caller, so an address can't be recycled).
+fn same_parts(a: &[Bytes], b: &[Bytes]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.as_ptr() == y.as_ptr() && x.len() == y.len())
+}
+
+/// The per-activation send queue behind encode-once fan-out and frame
+/// coalescing. Protocol messages are encoded exactly once into pooled
+/// buffers; every queued entry is a cheap [`Bytes`] clone. At the end
+/// of the activation, entries for the same destination are folded into
+/// one multi-command [`Frame`] (when coalescing is enabled), so a
+/// cascade of ring forwards, acks, and sync traffic to one peer costs
+/// one network message. Grouping order derives purely from queue order
+/// within the virtual-time activation, keeping batching deterministic.
+struct Outbox {
+    /// `(destination, pre-encoded message)` in queue order.
+    queue: Vec<(ProcessId, Bytes)>,
+    pool: WriterPool,
+    stats: Arc<FanoutStats>,
 }
 
 /// The Rivulet process actor.
@@ -326,6 +363,9 @@ impl RivuletProcess {
             }
             wal
         });
+        // Recovered events are already durable: re-advertise their
+        // receipt watermarks so peers' pending broadcasts retire.
+        let received_marks: HashMap<SensorId, u64> = gapless.store().iter_watermarks().collect();
 
         self.st = Some(Initialized {
             membership,
@@ -336,11 +376,17 @@ impl RivuletProcess {
             actuators,
             peer_actors,
             processed,
+            received_marks,
             window_timers,
             cmd_seq: HashMap::new(),
             last_successor: None,
             wal,
             gated: Vec::new(),
+            outbox: Outbox {
+                queue: Vec::new(),
+                pool: WriterPool::new(),
+                stats: Arc::clone(&self.spec.fanout),
+            },
         });
 
         // Arm the durability timers: the group-commit flush interval
@@ -373,41 +419,53 @@ impl RivuletProcess {
     fn tick(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         let me = self.me();
-        let mut sends: Vec<(ProcessId, ProcMsg)> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
         {
             let st = self.st.as_mut().expect("initialized");
             // Keep-alives go to every configured peer, not just the
-            // view: a healed partition must be able to un-suspect.
+            // view: a healed partition must be able to un-suspect. One
+            // fan-out action: the beacon is encoded once and
+            // cheap-cloned to every destination.
             let processed: Vec<(SensorId, u64)> = {
                 let mut v: Vec<(SensorId, u64)> =
                     st.processed.iter().map(|(s, q)| (*s, *q)).collect();
                 v.sort_unstable_by_key(|(s, _)| *s);
                 v
             };
-            for peer in st.membership.peers().to_vec() {
-                sends.push((
-                    peer,
-                    ProcMsg::KeepAlive {
+            let received: Vec<(SensorId, u64)> = {
+                let mut v: Vec<(SensorId, u64)> =
+                    st.received_marks.iter().map(|(s, q)| (*s, *q)).collect();
+                v.sort_unstable_by_key(|(s, _)| *s);
+                v
+            };
+            let beacon_peers: Vec<ProcessId> = st
+                .membership
+                .peers()
+                .iter()
+                .copied()
+                .filter(|p| *p != me)
+                .collect();
+            if !beacon_peers.is_empty() {
+                actions.push(Action::Fanout {
+                    to: beacon_peers,
+                    msg: ProcMsg::KeepAlive {
                         from: me,
-                        processed: processed.clone(),
+                        processed,
+                        received,
                     },
-                ));
+                });
             }
             // Ring successor maintenance + anti-entropy.
             let successor = st.membership.ring_successor(now);
             if successor != st.last_successor {
                 st.last_successor = successor;
-                if let Some(Action::Send { to, msg }) = st.gapless.on_successor_change(successor) {
-                    sends.push((to, msg));
+                if let Some(action) = st.gapless.on_successor_change(successor) {
+                    actions.push(action);
                 }
             }
             // Reliable-broadcast retransmission.
             let view = st.membership.view(now);
-            for action in st.rbcast.on_tick(&view) {
-                if let Action::Send { to, msg } = action {
-                    sends.push((to, msg));
-                }
-            }
+            actions.extend(st.rbcast.on_tick(&view));
             // Watermark garbage collection: events processed home-wide
             // and older than the straggler horizon will never be
             // replayed or synced again.
@@ -428,9 +486,7 @@ impl RivuletProcess {
                 probe.record_len(now, me, st.gapless.store().len());
             }
         }
-        for (to, msg) in sends {
-            self.send_proc(ctx, to, msg);
-        }
+        self.apply_actions(ctx, actions);
         // Group-commit backstop: a partial EveryN batch (or an idle
         // interval policy) must not withhold its actions longer than
         // one keep-alive period.
@@ -590,10 +646,24 @@ impl RivuletProcess {
     fn apply_actions(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
         for action in actions {
             match action {
-                Action::Send { to, msg } => self.send_proc(ctx, to, msg),
-                Action::Deliver { event } => self.deliver_to_apps(ctx, &event),
+                Action::Send { to, msg } => self.send_proc(to, &msg),
+                Action::Fanout { to, msg } => self.send_fanout(&to, &msg),
+                Action::Deliver { event } => {
+                    self.note_received(&event);
+                    self.deliver_to_apps(ctx, &event);
+                }
             }
         }
+    }
+
+    /// Advances the cumulative *received* watermark for a replicated
+    /// event. Called only from the post-durability-gate `Deliver` arm:
+    /// the watermark advertises durable possession, so it must never
+    /// run ahead of the WAL.
+    fn note_received(&mut self, event: &Event) {
+        let st = self.st.as_mut().expect("initialized");
+        let mark = st.received_marks.entry(event.id.sensor).or_insert(0);
+        *mark = (*mark).max(event.id.seq);
     }
 
     /// Applies delivery-service actions *through the durability gate*:
@@ -697,21 +767,109 @@ impl RivuletProcess {
             .is_some_and(|rt| !rt.subscribed_apps.is_empty())
     }
 
-    fn send_proc(&mut self, ctx: &mut Context<'_>, to: ProcessId, msg: ProcMsg) {
+    /// Queues one protocol message to one peer. The message is encoded
+    /// here, once, into a pooled buffer; actual transmission (and
+    /// same-destination coalescing) happens in [`Self::flush_outbox`]
+    /// at the end of the activation.
+    fn send_proc(&mut self, to: ProcessId, msg: &ProcMsg) {
         if to == self.me() {
             return;
         }
-        let Some(actor) = self
-            .st
-            .as_ref()
-            .expect("initialized")
-            .peer_actors
-            .get(&to)
-            .copied()
-        else {
+        let st = self.st.as_mut().expect("initialized");
+        if !st.peer_actors.contains_key(&to) {
             return;
-        };
-        ctx.send(actor, msg.to_bytes());
+        }
+        let payload = st.outbox.pool.encode(msg);
+        st.outbox.queue.push((to, payload));
+    }
+
+    /// Encode-once fan-out: encodes `msg` a single time and queues a
+    /// cheap [`Bytes`] clone per destination, instead of re-encoding
+    /// for every peer.
+    fn send_fanout(&mut self, to: &[ProcessId], msg: &ProcMsg) {
+        let me = self.me();
+        let st = self.st.as_mut().expect("initialized");
+        let targets: Vec<ProcessId> = to
+            .iter()
+            .copied()
+            .filter(|p| *p != me && st.peer_actors.contains_key(p))
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let payload = st.outbox.pool.encode(msg);
+        if targets.len() > 1 {
+            st.outbox
+                .stats
+                .record_encode_reuse((payload.len() * (targets.len() - 1)) as u64);
+        }
+        for t in targets {
+            st.outbox.queue.push((t, payload.clone()));
+        }
+    }
+
+    /// Drains the outbox at the end of an activation. With coalescing
+    /// enabled, messages to the same destination are folded into one
+    /// multi-command [`Frame`] (frame assembly concatenates the
+    /// already-encoded parts — nothing is re-encoded); with it
+    /// disabled, entries go out individually in queue order. Both the
+    /// grouping and its order are pure functions of the activation's
+    /// queue, so delivery stays deterministic.
+    fn flush_outbox(&mut self, ctx: &mut Context<'_>) {
+        let coalesce = self.spec.config.coalescing;
+        let Some(st) = self.st.as_mut() else { return };
+        if st.outbox.queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut st.outbox.queue);
+        if !coalesce {
+            for (to, payload) in queue {
+                if let Some(actor) = st.peer_actors.get(&to).copied() {
+                    ctx.send(actor, payload);
+                }
+            }
+            return;
+        }
+        // Group by destination in first-appearance order. Destinations
+        // are few (home-scale peer counts), so a linear scan beats a
+        // map here and preserves order for free.
+        let mut groups: Vec<(ProcessId, Vec<Bytes>)> = Vec::new();
+        for (to, payload) in queue {
+            match groups.iter_mut().find(|(p, _)| *p == to) {
+                Some((_, parts)) => parts.push(payload),
+                None => groups.push((to, vec![payload])),
+            }
+        }
+        // Floods queue the *same* parts (cheap clones of one encoding)
+        // for every destination, so the assembled frame can itself be
+        // encoded once and cheap-cloned: identity of the backing
+        // buffers proves the byte content is identical.
+        let mut last_frame: Option<(Vec<Bytes>, Bytes)> = None;
+        for (to, parts) in groups {
+            let Some(actor) = st.peer_actors.get(&to).copied() else {
+                continue;
+            };
+            if parts.len() == 1 {
+                let payload = parts.into_iter().next().expect("one part");
+                ctx.send(actor, payload);
+                continue;
+            }
+            st.outbox.stats.record_frame(parts.len());
+            let framed = match &last_frame {
+                Some((prev_parts, frame)) if same_parts(prev_parts, &parts) => {
+                    st.outbox.stats.record_encode_reuse(frame.len() as u64);
+                    frame.clone()
+                }
+                _ => {
+                    let mut w = st.outbox.pool.checkout();
+                    let framed = Frame::encode_parts(&mut w, &parts);
+                    st.outbox.pool.put_back(w);
+                    last_frame = Some((parts, framed.clone()));
+                    framed
+                }
+            };
+            ctx.send(actor, framed);
+        }
     }
 
     /// Handles operator outputs: actuation routing and alerts.
@@ -773,7 +931,7 @@ impl RivuletProcess {
                 .find(|p| st.membership.is_alive(*p, now))
         };
         if let Some(target) = target {
-            self.send_proc(ctx, target, ProcMsg::CmdForward { command });
+            self.send_proc(target, &ProcMsg::CmdForward { command });
         }
     }
 
@@ -811,13 +969,10 @@ impl RivuletProcess {
                 };
                 if let Some(action) = deliver {
                     let mut actions = vec![action];
-                    for peer in peers {
-                        actions.push(Action::Send {
-                            to: peer,
-                            msg: ProcMsg::Broadcast {
-                                event: event.clone(),
-                                origin: me,
-                            },
+                    if !peers.is_empty() {
+                        actions.push(Action::Fanout {
+                            to: peers,
+                            msg: ProcMsg::Broadcast { event, origin: me },
                         });
                     }
                     self.apply_actions_durably(ctx, actions);
@@ -862,7 +1017,7 @@ impl RivuletProcess {
                 match role {
                     GapRole::DeliverLocally => self.deliver_to_apps(ctx, &event),
                     GapRole::ForwardTo(target) => {
-                        self.send_proc(ctx, target, ProcMsg::GapForward { event });
+                        self.send_proc(target, &ProcMsg::GapForward { event });
                     }
                     GapRole::Discard => {}
                 }
@@ -902,11 +1057,20 @@ impl RivuletProcess {
                 .heard_from(from, now);
         }
         match msg {
-            ProcMsg::KeepAlive { from: _, processed } => {
+            ProcMsg::KeepAlive {
+                from,
+                processed,
+                received,
+            } => {
                 let st = self.st.as_mut().expect("initialized");
                 for (sensor, seq) in processed {
                     let mark = st.processed.entry(sensor).or_insert(0);
                     *mark = (*mark).max(seq);
+                }
+                // The peer's durable-receipt watermarks acknowledge
+                // every covered pending broadcast in one beacon.
+                if !received.is_empty() {
+                    let _ = st.rbcast.on_cumulative_ack(from, &received);
                 }
             }
             ProcMsg::Ring { event, seen, need } => {
@@ -931,18 +1095,23 @@ impl RivuletProcess {
                 }
                 let eager =
                     self.spec.config.forwarding == crate::config::ForwardingMode::EagerBroadcast;
+                let eager_ack = self.spec.config.ack_mode == AckMode::PerEvent;
                 let (deliver, acks) = {
                     let st = self.st.as_mut().expect("initialized");
                     let deliver = st.gapless.on_broadcast_copy(event.clone());
                     // The eager baseline floods once with no
                     // acknowledgement machinery; the ring's fallback
-                    // acks and relays.
+                    // relays, and acks either per event or (default)
+                    // cumulatively via the keep-alive watermarks.
                     let acks = if eager {
                         Vec::new()
                     } else {
+                        if !eager_ack {
+                            st.outbox.stats.record_ack_avoided();
+                        }
                         let view = st.membership.view(now);
                         st.rbcast
-                            .on_broadcast(&event, origin, deliver.is_some(), &view)
+                            .on_broadcast(&event, origin, deliver.is_some(), &view, eager_ack)
                     };
                     (deliver, acks)
                 };
@@ -1188,10 +1357,20 @@ impl Actor for RivuletProcess {
                     .values()
                     .any(|a| *a == from);
                 if is_peer {
-                    if let Ok(msg) = ProcMsg::from_bytes(&payload) {
+                    // First-byte dispatch: the frame tag is disjoint
+                    // from every `ProcMsg` tag. Decoding from the
+                    // shared buffer keeps event payload blobs
+                    // zero-copy.
+                    if Frame::sniff(&payload) {
+                        if let Ok(frame) = Frame::from_shared_bytes(&payload) {
+                            for msg in frame.msgs {
+                                self.on_proc_msg(ctx, msg);
+                            }
+                        }
+                    } else if let Ok(msg) = ProcMsg::from_shared_bytes(&payload) {
                         self.on_proc_msg(ctx, msg);
                     }
-                } else if let Ok(frame) = RadioFrame::from_bytes(&payload) {
+                } else if let Ok(frame) = RadioFrame::from_shared_bytes(&payload) {
                     match frame {
                         RadioFrame::Event(event) => self.on_sensor_event(ctx, event),
                         RadioFrame::ActuateAck { .. } => {
@@ -1231,5 +1410,8 @@ impl Actor for RivuletProcess {
                 }
             }
         }
+        // Everything queued during this activation goes out now, with
+        // same-destination messages coalesced into frames.
+        self.flush_outbox(ctx);
     }
 }

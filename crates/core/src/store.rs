@@ -11,9 +11,14 @@ use std::collections::{BTreeMap, HashMap};
 use rivulet_types::{Event, EventId, SensorId, Time};
 
 /// A bounded, per-sensor-ordered store of replicated events.
+///
+/// Sensors live in a `BTreeMap` so that every sync-path query
+/// ([`EventStore::watermarks`], [`EventStore::diff_for`]) iterates in
+/// sensor order directly instead of collecting and re-sorting the key
+/// set on each call.
 #[derive(Debug, Default)]
 pub struct EventStore {
-    by_sensor: HashMap<SensorId, BTreeMap<u64, Event>>,
+    by_sensor: BTreeMap<SensorId, BTreeMap<u64, Event>>,
     cap_per_sensor: usize,
     inserted: u64,
     evicted: u64,
@@ -30,7 +35,7 @@ impl EventStore {
     pub fn new(cap_per_sensor: usize) -> Self {
         assert!(cap_per_sensor > 0, "store capacity must be positive");
         Self {
-            by_sensor: HashMap::new(),
+            by_sensor: BTreeMap::new(),
             cap_per_sensor,
             inserted: 0,
             evicted: 0,
@@ -71,17 +76,20 @@ impl EventStore {
             .and_then(|m| m.keys().next_back().copied())
     }
 
-    /// All `(sensor, watermark)` pairs, sorted by sensor for
-    /// deterministic wire encoding.
+    /// All `(sensor, watermark)` pairs, ascending by sensor — the map
+    /// already iterates in sensor order, so the wire encoding is
+    /// deterministic without a sort.
     #[must_use]
     pub fn watermarks(&self) -> Vec<(SensorId, u64)> {
-        let mut out: Vec<(SensorId, u64)> = self
-            .by_sensor
+        self.iter_watermarks().collect()
+    }
+
+    /// Iterates `(sensor, watermark)` pairs ascending by sensor without
+    /// materializing a `Vec`.
+    pub fn iter_watermarks(&self) -> impl Iterator<Item = (SensorId, u64)> + '_ {
+        self.by_sensor
             .iter()
             .filter_map(|(s, m)| m.keys().next_back().map(|q| (*s, *q)))
-            .collect();
-        out.sort_unstable_by_key(|(s, _)| *s);
-        out
     }
 
     /// Events of `sensor` with sequence numbers strictly greater than
@@ -110,12 +118,14 @@ impl EventStore {
     #[must_use]
     pub fn diff_for(&self, peer_watermarks: &[(SensorId, u64)]) -> Vec<Event> {
         let peer: HashMap<SensorId, u64> = peer_watermarks.iter().copied().collect();
-        let mut sensors: Vec<&SensorId> = self.by_sensor.keys().collect();
-        sensors.sort_unstable();
         let mut out = Vec::new();
-        for sensor in sensors {
-            let after = peer.get(sensor).copied();
-            out.extend(self.events_after(*sensor, after));
+        // Sensor iteration is already ordered; per-sensor ranges stream
+        // straight into the output with no intermediate Vec per sensor.
+        for (sensor, per) in &self.by_sensor {
+            match peer.get(sensor) {
+                None => out.extend(per.values().cloned()),
+                Some(&wm) => out.extend(per.range(wm.saturating_add(1)..).map(|(_, e)| e.clone())),
+            }
         }
         out
     }
@@ -268,6 +278,27 @@ mod tests {
         assert_eq!(ids, vec![(1, 1), (2, 4)]);
         // Peer fully caught up → empty diff.
         assert!(s.diff_for(&[(SensorId(1), 1), (SensorId(2), 4)]).is_empty());
+    }
+
+    #[test]
+    fn diff_for_streams_in_sensor_order() {
+        let mut s = EventStore::new(10);
+        // Insert sensors out of order; output must be sensor-ascending.
+        for sensor in [7u32, 2, 5, 1] {
+            s.insert(ev(sensor, 0));
+            s.insert(ev(sensor, 1));
+        }
+        let diff = s.diff_for(&[(SensorId(5), 0)]);
+        let ids: Vec<(u32, u64)> = diff
+            .iter()
+            .map(|e| (e.id.sensor.as_u32(), e.id.seq))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![(1, 0), (1, 1), (2, 0), (2, 1), (5, 1), (7, 0), (7, 1)]
+        );
+        let wms: Vec<(SensorId, u64)> = s.iter_watermarks().collect();
+        assert_eq!(wms, s.watermarks());
     }
 
     #[test]

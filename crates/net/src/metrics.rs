@@ -8,11 +8,87 @@
 //! exactly that quantity.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rivulet_types::wire::FRAME_HEADER_BYTES;
 
 use crate::actor::ActorId;
 use crate::link::DropReason;
+
+/// Shared counters for the encode-once / frame-coalescing fan-out
+/// path.
+///
+/// The savings happen inside process actors (the core crate), but are
+/// reported alongside the network accounting, so the `Arc` is handed to
+/// every process at deployment and read back through
+/// [`NetMetrics::fanout`]. Plain relaxed atomics: counters only, no
+/// synchronization semantics.
+#[derive(Debug, Default)]
+pub struct FanoutStats {
+    frames_coalesced: AtomicU64,
+    messages_avoided: AtomicU64,
+    encode_bytes_saved: AtomicU64,
+    acks_avoided: AtomicU64,
+}
+
+/// A point-in-time copy of [`FanoutStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FanoutSnapshot {
+    /// Multi-command frames emitted (each replaced ≥ 2 messages).
+    pub frames_coalesced: u64,
+    /// Network messages that never existed thanks to coalescing
+    /// (messages folded into frames minus the frames themselves).
+    pub messages_avoided: u64,
+    /// Encode work skipped by encode-once fan-out: bytes that were
+    /// cheap-cloned to additional destinations instead of re-encoded.
+    pub encode_bytes_saved: u64,
+    /// Per-event `BroadcastAck` messages replaced by cumulative
+    /// keep-alive watermarks.
+    pub acks_avoided: u64,
+}
+
+impl FanoutStats {
+    /// Records one emitted frame that folded `msgs` messages together.
+    pub fn record_frame(&self, msgs: usize) {
+        self.frames_coalesced.fetch_add(1, Ordering::Relaxed);
+        self.messages_avoided
+            .fetch_add(msgs.saturating_sub(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of encoding skipped by cheap-cloning an already
+    /// encoded message to extra destinations.
+    pub fn record_encode_reuse(&self, bytes: u64) {
+        self.encode_bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one broadcast receipt acknowledged cumulatively instead
+    /// of with a dedicated ack message.
+    pub fn record_ack_avoided(&self) {
+        self.acks_avoided.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> FanoutSnapshot {
+        FanoutSnapshot {
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            messages_avoided: self.messages_avoided.load(Ordering::Relaxed),
+            encode_bytes_saved: self.encode_bytes_saved.load(Ordering::Relaxed),
+            acks_avoided: self.acks_avoided.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters in place, preserving every handle to the
+    /// `Arc` (processes keep recording into the same instance after a
+    /// metrics reset).
+    pub fn reset(&self) {
+        self.frames_coalesced.store(0, Ordering::Relaxed);
+        self.messages_avoided.store(0, Ordering::Relaxed);
+        self.encode_bytes_saved.store(0, Ordering::Relaxed);
+        self.acks_avoided.store(0, Ordering::Relaxed);
+    }
+}
 
 /// Counters accumulated over one driver run.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +107,10 @@ pub struct NetMetrics {
     pub bytes_by_sender: HashMap<ActorId, u64>,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Encode-once / coalescing savings recorded by process actors
+    /// (shared: cloning the metrics clones the handle, not the
+    /// counters).
+    pub fanout: Arc<FanoutStats>,
 }
 
 impl NetMetrics {
@@ -109,6 +189,27 @@ mod tests {
         assert_eq!(m.drops[&DropReason::RandomLoss], 2);
         assert_eq!(m.drops[&DropReason::Blocked], 1);
         assert_eq!(m.total_drops(), 3);
+    }
+
+    #[test]
+    fn fanout_stats_accumulate_and_reset() {
+        let m = NetMetrics::new();
+        let stats = Arc::clone(&m.fanout);
+        stats.record_frame(3);
+        stats.record_frame(2);
+        stats.record_encode_reuse(120);
+        stats.record_ack_avoided();
+        let snap = m.fanout.snapshot();
+        assert_eq!(snap.frames_coalesced, 2);
+        assert_eq!(snap.messages_avoided, 3, "(3-1) + (2-1)");
+        assert_eq!(snap.encode_bytes_saved, 120);
+        assert_eq!(snap.acks_avoided, 1);
+        // Cloned metrics share the same counters.
+        let clone = m.clone();
+        stats.record_ack_avoided();
+        assert_eq!(clone.fanout.snapshot().acks_avoided, 2);
+        stats.reset();
+        assert_eq!(m.fanout.snapshot(), FanoutSnapshot::default());
     }
 
     #[test]

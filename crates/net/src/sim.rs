@@ -226,9 +226,14 @@ impl SimNet {
         &self.metrics
     }
 
-    /// Resets the network counters (e.g. after a warm-up phase).
+    /// Resets the network counters (e.g. after a warm-up phase). The
+    /// shared fan-out stats handle is preserved — process actors hold
+    /// clones of it — and its counters are zeroed in place.
     pub fn reset_metrics(&mut self) {
+        let fanout = std::sync::Arc::clone(&self.metrics.fanout);
+        fanout.reset();
         self.metrics = NetMetrics::new();
+        self.metrics.fanout = fanout;
     }
 
     /// The driver trace.

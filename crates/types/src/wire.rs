@@ -66,6 +66,10 @@ pub enum WireError {
     },
     /// A byte-string declared as UTF-8 was not valid UTF-8.
     InvalidUtf8,
+    /// A multi-message frame declared zero messages; frames exist only
+    /// to coalesce, so an empty batch is always an encoder bug or
+    /// corruption.
+    EmptyBatch,
 }
 
 impl fmt::Display for WireError {
@@ -83,6 +87,7 @@ impl fmt::Display for WireError {
                 write!(f, "declared length {declared} exceeds sanity limit")
             }
             WireError::InvalidUtf8 => write!(f, "byte-string is not valid utf-8"),
+            WireError::EmptyBatch => write!(f, "frame declared zero messages"),
         }
     }
 }
@@ -154,19 +159,108 @@ impl WireWriter {
     pub fn into_bytes(self) -> Bytes {
         self.buf.freeze()
     }
+
+    /// Splits off everything written so far as a frozen [`Bytes`],
+    /// leaving the writer empty but with its spare capacity intact so
+    /// it can be reused for the next message. Once all outstanding
+    /// [`Bytes`] handles are dropped, `BytesMut::reserve` reclaims the
+    /// allocation — this is what makes a pooled writer allocation-free
+    /// in steady state.
+    pub fn take_bytes(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+}
+
+/// A small pool of reusable [`WireWriter`]s for hot-path encoding.
+///
+/// The replication fan-out encodes one `ProcMsg` per *activation*, not
+/// per peer; [`WriterPool::encode`] produces the frozen [`Bytes`] that
+/// are then cheap-cloned to every destination. Buffers are recycled via
+/// [`WireWriter::take_bytes`], so steady-state encoding performs no
+/// allocation once the pool has warmed up.
+#[derive(Debug, Default)]
+pub struct WriterPool {
+    free: Vec<WireWriter>,
+}
+
+impl WriterPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `value` using a pooled buffer, returning the frozen
+    /// bytes. The buffer returns to the pool for reuse.
+    pub fn encode<T: Wire>(&mut self, value: &T) -> Bytes {
+        let mut w = self.free.pop().unwrap_or_default();
+        w.reserve(value.encoded_len());
+        value.encode(&mut w);
+        let out = w.take_bytes();
+        self.free.push(w);
+        out
+    }
+
+    /// Checks out a writer (empty, possibly with warm capacity).
+    /// Return it with [`WriterPool::put_back`] after taking its bytes.
+    #[must_use]
+    pub fn checkout(&mut self) -> WireWriter {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a writer to the pool. Any unfrozen contents are cleared.
+    pub fn put_back(&mut self, mut w: WireWriter) {
+        if !w.is_empty() {
+            let _ = w.take_bytes();
+        }
+        self.free.push(w);
+    }
 }
 
 /// Cursor over a byte slice for decoding wire values.
 #[derive(Debug)]
 pub struct WireReader<'a> {
     buf: &'a [u8],
+    /// When the slice is backed by a refcounted [`Bytes`] buffer,
+    /// byte-string fields decode as zero-copy sub-slices of it instead
+    /// of fresh heap copies.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> WireReader<'a> {
     /// Creates a reader over `buf`.
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
+        Self { buf, shared: None }
+    }
+
+    /// Creates a reader over a refcounted buffer. Byte-string fields
+    /// ([`Bytes`] values, e.g. event blob payloads) decode as cheap
+    /// `slice_ref` views into `buf` rather than heap copies.
+    #[must_use]
+    pub fn from_shared(buf: &'a Bytes) -> Self {
+        Self {
+            buf: &buf[..],
+            shared: Some(buf),
+        }
+    }
+
+    /// Splits off a sub-reader over the next `n` bytes, preserving any
+    /// shared backing so nested zero-copy decoding keeps working (used
+    /// by the multi-command frame codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn sub_reader(&mut self, n: usize) -> Result<WireReader<'a>, WireError> {
+        let shared = self.shared;
+        let head = self.get_slice(n)?;
+        Ok(WireReader { buf: head, shared })
     }
 
     /// Bytes not yet consumed.
@@ -247,6 +341,22 @@ impl<'a> WireReader<'a> {
         }
         Ok(declared as usize)
     }
+
+    /// Reads `n` raw bytes as an owned [`Bytes`] value — zero-copy
+    /// (`slice_ref`) when this reader was built with
+    /// [`WireReader::from_shared`], a heap copy otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn get_bytes(&mut self, n: usize) -> Result<Bytes, WireError> {
+        let shared = self.shared;
+        let head = self.get_slice(n)?;
+        Ok(match shared {
+            Some(backing) => backing.slice_ref(head),
+            None => Bytes::copy_from_slice(head),
+        })
+    }
 }
 
 /// Returns the number of bytes the LEB128 encoding of `v` occupies.
@@ -293,6 +403,25 @@ pub trait Wire: Sized {
     /// Returns a [`WireError`] for malformed input or trailing bytes.
     fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
+        let value = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::LengthTooLarge {
+                declared: r.remaining() as u64,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Like [`Wire::from_bytes`], but byte-string fields decode as
+    /// zero-copy views into `buf` (see [`WireReader::from_shared`]).
+    /// This is the arrival-path entry point: a decoded event's blob
+    /// payload shares the network buffer instead of re-allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed input or trailing bytes.
+    fn from_shared_bytes(buf: &Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::from_shared(buf);
         let value = Self::decode(&mut r)?;
         if !r.is_empty() {
             return Err(WireError::LengthTooLarge {
@@ -393,7 +522,7 @@ impl Wire for Bytes {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let len = r.get_len()?;
-        Ok(Bytes::copy_from_slice(r.get_slice(len)?))
+        r.get_bytes(len)
     }
 }
 
@@ -610,6 +739,71 @@ mod tests {
         roundtrip(&Vec::<String>::new());
         roundtrip(&(7u32, String::from("pair")));
         roundtrip(&vec![(1u32, 2u64), (3, 4)]);
+    }
+
+    #[test]
+    fn take_bytes_leaves_writer_reusable() {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_varint(300);
+        let first = w.take_bytes();
+        assert!(w.is_empty(), "writer empty after take_bytes");
+        w.put_varint(7);
+        let second = w.take_bytes();
+        assert_eq!(&first[..], &300u64.to_bytes()[..]);
+        assert_eq!(&second[..], &7u64.to_bytes()[..]);
+    }
+
+    #[test]
+    fn writer_pool_encodes_and_recycles() {
+        let mut pool = WriterPool::new();
+        let a = pool.encode(&String::from("hello"));
+        let b = pool.encode(&String::from("world"));
+        assert_eq!(String::from_bytes(&a).unwrap(), "hello");
+        assert_eq!(String::from_bytes(&b).unwrap(), "world");
+        // Checkout/put_back path, including a dirty writer.
+        let mut w = pool.checkout();
+        w.put_u8(0xff);
+        pool.put_back(w);
+        let c = pool.encode(&42u64);
+        assert_eq!(u64::from_bytes(&c).unwrap(), 42);
+    }
+
+    #[test]
+    fn shared_reader_decodes_bytes_zero_copy() {
+        let blob = Bytes::from(vec![9u8; 128]);
+        let encoded = blob.to_bytes();
+        let decoded = Bytes::from_shared_bytes(&encoded).unwrap();
+        assert_eq!(decoded, blob);
+        // Zero-copy: the decoded value points into the arrival buffer.
+        let enc_range = encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
+        assert!(
+            enc_range.contains(&(decoded.as_ptr() as usize)),
+            "decoded Bytes should be a view into the shared buffer"
+        );
+    }
+
+    #[test]
+    fn sub_reader_preserves_shared_backing() {
+        let blob = Bytes::from(vec![3u8; 32]);
+        let mut w = WireWriter::new();
+        w.put_varint(blob.to_bytes().len() as u64);
+        blob.encode(&mut w);
+        let outer = w.into_bytes();
+        let mut r = WireReader::from_shared(&outer);
+        let len = r.get_len().unwrap();
+        let mut sub = r.sub_reader(len).unwrap();
+        let decoded = Bytes::decode(&mut sub).unwrap();
+        assert!(sub.is_empty() && r.is_empty());
+        let range = outer.as_ptr() as usize..outer.as_ptr() as usize + outer.len();
+        assert!(range.contains(&(decoded.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn unshared_reader_still_copies() {
+        let blob = Bytes::from(vec![5u8; 16]);
+        let encoded = blob.to_bytes();
+        let decoded = Bytes::from_bytes(&encoded).unwrap();
+        assert_eq!(decoded, blob);
     }
 
     #[test]

@@ -13,12 +13,27 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// A `Bytes` is a `(backing, offset, len)` view: [`Bytes::slice_ref`]
+/// produces sub-slices that share the backing allocation, matching the
+/// upstream crate's zero-copy slicing.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Creates an empty `Bytes`.
     #[must_use]
     pub fn new() -> Self {
@@ -28,35 +43,56 @@ impl Bytes {
     /// Creates `Bytes` from a static slice.
     #[must_use]
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self {
-            data: Arc::from(bytes),
-        }
+        Self::from_arc(Arc::from(bytes))
     }
 
     /// Creates `Bytes` by copying `data`.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self {
-            data: Arc::from(data),
-        }
+        Self::from_arc(Arc::from(data))
     }
 
     /// Number of bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// Returns a `Bytes` equivalent to the given `subset` slice,
+    /// sharing this buffer's backing allocation instead of copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not a sub-slice of `self` (same semantics
+    /// as the upstream crate).
+    #[must_use]
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        if subset.is_empty() {
+            return Self::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len,
+            "subset is not contained in this Bytes"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            offset: self.offset + (sub - base),
+            len: subset.len(),
+        }
     }
 }
 
@@ -64,21 +100,19 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        Self::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -90,7 +124,7 @@ impl From<&'static [u8]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_ref() == other.as_ref()
     }
 }
 
@@ -98,13 +132,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_ref() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self.as_ref() == *other
     }
 }
 
@@ -116,20 +150,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_ref().cmp(other.as_ref())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_ref().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -169,6 +203,21 @@ impl BytesMut {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Removes all written bytes, returning them in a new `BytesMut`
+    /// and leaving `self` empty (the upstream split-off idiom used to
+    /// freeze a buffer's contents while keeping the handle).
+    #[must_use]
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            data: std::mem::take(&mut self.data),
+        }
     }
 
     /// Converts the buffer into immutable [`Bytes`].
@@ -243,5 +292,39 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, Bytes::from_static(b"abc"));
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slice_ref_shares_backing() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let sub = a.slice_ref(&a[6..]);
+        assert_eq!(sub, Bytes::from_static(b"world"));
+        assert_eq!(sub.as_ref().as_ptr(), a[6..].as_ptr(), "no copy");
+        // A slice of a slice still points into the original backing.
+        let sub2 = sub.slice_ref(&sub[1..3]);
+        assert_eq!(sub2, &b"or"[..]);
+        assert_eq!(sub2.as_ref().as_ptr(), a[7..].as_ptr());
+        // Empty subsets detach harmlessly.
+        assert!(a.slice_ref(&a[..0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn slice_ref_rejects_foreign_slices() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let other = [1u8, 2, 3];
+        let _ = a.slice_ref(&other);
+    }
+
+    #[test]
+    fn split_drains_writer() {
+        let mut w = BytesMut::new();
+        w.reserve(16);
+        w.put_slice(b"abc");
+        let frozen = w.split().freeze();
+        assert_eq!(frozen, &b"abc"[..]);
+        assert!(w.is_empty());
+        w.put_u8(b'z');
+        assert_eq!(w.split().freeze(), &b"z"[..]);
     }
 }
