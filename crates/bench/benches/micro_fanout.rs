@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rivulet_bench::fanout::{activation_msgs, fan_out_coalesced, fan_out_naive, MicroWorkload};
+use rivulet_obs::Recorder;
 use rivulet_types::wire::WriterPool;
 use std::hint::black_box;
 
@@ -21,7 +22,10 @@ fn bench_fanout(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("encode_once", label), &msgs, |b, msgs| {
             let mut pool = WriterPool::new();
-            b.iter(|| black_box(fan_out_coalesced(msgs, w.peers, &mut pool)));
+            // Disabled recorder: measures the no-op instrumentation
+            // cost alongside the encode path, as in production.
+            let obs = Recorder::default();
+            b.iter(|| black_box(fan_out_coalesced(msgs, w.peers, &mut pool, &obs)));
         });
     }
     group.finish();

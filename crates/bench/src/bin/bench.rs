@@ -3,10 +3,17 @@
 //! to `BENCH_fanout.json` (plus a human-readable summary on stdout).
 //!
 //! ```text
-//! cargo run --release -p rivulet-bench --bin bench [-- --out PATH] [--quick]
+//! cargo run --release -p rivulet-bench --bin bench \
+//!     [-- --out PATH] [--quick] [--assert-baseline PATH] [--tolerance FRACTION]
 //! ```
 //!
 //! `--quick` shrinks the iteration counts for CI smoke runs.
+//! `--assert-baseline PATH` compares the fresh coalesced micro
+//! throughput (measured with a *disabled* observability recorder on
+//! the hot path) against the committed `BENCH_fanout.json` and exits
+//! non-zero on a regression beyond `--tolerance` (default 0.25 — wide
+//! enough for cross-machine noise in CI; tighten locally to verify the
+//! < 3% acceptance bound on stable hardware).
 
 use rivulet_bench::fanout::{
     run_micro, run_sim_point, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
@@ -50,6 +57,22 @@ fn sim_json(p: &SimPoint) -> String {
     )
 }
 
+/// Extracts `micro.after.events_per_sec` from a `BENCH_fanout.json`
+/// document without a JSON parser dependency: finds the `"after"` key
+/// and reads the first `"events_per_sec"` number inside it.
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let after = json.find("\"after\"")?;
+    let tail = &json[after..];
+    let key = tail.find("\"events_per_sec\"")?;
+    let tail = &tail[key + "\"events_per_sec\"".len()..];
+    let colon = tail.find(':')?;
+    let tail = tail[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -59,6 +82,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_fanout.json".to_owned());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--assert-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
     let activations: u64 = if quick { 2_000 } else { 20_000 };
 
     // Micro: the fan-out encode path, before (per-peer re-encode) vs
@@ -91,6 +125,28 @@ fn main() {
         after.events_per_sec, after.bytes_per_event
     );
     println!("  speedup: {speedup:.2}x");
+
+    // Baseline gate: the coalesced path now carries a disabled
+    // observability recorder; its throughput must stay within
+    // tolerance of the committed pre-instrumentation number.
+    if let Some(path) = &baseline_path {
+        let doc =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base = baseline_events_per_sec(&doc)
+            .unwrap_or_else(|| panic!("no micro.after.events_per_sec in {path}"));
+        let floor = base * (1.0 - tolerance);
+        println!(
+            "baseline gate: fresh {:.0} events/s vs committed {base:.0} \
+             (floor {floor:.0}, tolerance {tolerance:.2})",
+            after.events_per_sec
+        );
+        assert!(
+            after.events_per_sec >= floor,
+            "disabled-recorder fan-out regressed: {:.0} events/s < floor {floor:.0} \
+             ({base:.0} - {tolerance:.2})",
+            after.events_per_sec
+        );
+    }
 
     // Sim: whole-platform before/after for ring and broadcast-heavy.
     let mut sims: Vec<SimPoint> = Vec::new();

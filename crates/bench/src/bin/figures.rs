@@ -1,9 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation as
 //! text. Run with a figure id (`fig1`, `fig3`, `fig4a`, `fig4b`,
 //! `fig5`, `fig6`, `fig7`, `fig8`, `table1`, `table3`) or `all`.
+//! `obs-json` / `obs-prom` dump the full observability snapshot of the
+//! Fig. 7 failover run as deterministic JSON or Prometheus text.
 //!
 //! ```text
 //! cargo run -p rivulet-bench --bin figures -- fig6
+//! cargo run -p rivulet-bench --bin figures -- obs-json > obs.json
 //! ```
 //!
 //! Durations are scaled down from the paper's 200 s runs by default;
@@ -49,6 +52,8 @@ fn main() {
             } else {
                 Duration::from_secs(120)
             }),
+            "obs-json" => print_obs(false),
+            "obs-prom" => print_obs(true),
             "all" => {
                 print!("{}", tables::render_table1());
                 println!();
@@ -180,6 +185,32 @@ fn print_fig7(run_len: Duration) {
             }
         }
         println!();
+        for span in out.obs.spans_named("failover") {
+            println!(
+                "          failover span: actor {} [{} .. {:?}] = {:?}",
+                span.key,
+                span.start,
+                span.end,
+                span.duration()
+            );
+        }
+    }
+}
+
+/// Dumps the observability snapshot of the Fig. 7 Gapless failover run
+/// (crash at t = 24 s, seed 11): every number the figures print comes
+/// from this export.
+fn print_obs(prometheus: bool) {
+    let out = fig7::run(
+        Delivery::Gapless,
+        Time::from_secs(24),
+        Duration::from_secs(50),
+        11,
+    );
+    if prometheus {
+        print!("{}", out.obs.to_prometheus());
+    } else {
+        print!("{}", out.obs.to_json());
     }
 }
 

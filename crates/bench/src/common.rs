@@ -18,6 +18,7 @@ use rivulet_core::RivuletConfig;
 use rivulet_devices::sensor::{EmissionProbe, EmissionSchedule, PayloadSpec};
 use rivulet_net::metrics::FanoutSnapshot;
 use rivulet_net::sim::{SimConfig, SimNet};
+use rivulet_obs::ObsSnapshot;
 use rivulet_types::{AppId, Duration, EventKind, ProcessId, Time};
 
 /// Event payload sizes studied in Figs. 4–6 (Table 3 classes).
@@ -69,6 +70,12 @@ pub struct DeliveryScenario {
     /// Broadcast acknowledgement mode (cumulative keep-alive
     /// watermarks vs per-event acks).
     pub ack_mode: AckMode,
+    /// Enable the observability recorder for this run (figures read
+    /// their numbers from the resulting [`ObsSnapshot`]).
+    pub obs: bool,
+    /// Attach per-process durable storage (an in-memory simulated
+    /// backend), exercising the WAL append/flush/recovery path.
+    pub durable: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -91,6 +98,8 @@ impl DeliveryScenario {
             failure_timeout: Duration::from_secs(2),
             coalescing: true,
             ack_mode: AckMode::Cumulative,
+            obs: false,
+            durable: false,
             seed: 42,
         }
     }
@@ -116,6 +125,9 @@ pub struct DeliveryOutcome {
     pub transitions: Vec<(Time, ProcessId, bool)>,
     /// Encode-once / coalescing savings recorded during the run.
     pub fanout: FanoutSnapshot,
+    /// Full observability snapshot (empty unless
+    /// [`DeliveryScenario::obs`] was set).
+    pub obs: ObsSnapshot,
 }
 
 impl DeliveryOutcome {
@@ -153,12 +165,24 @@ pub fn run_delivery_with_probes(
         "receiver index out of range"
     );
     let mut net = SimNet::new(SimConfig::with_seed(cfg.seed));
+    net.recorder().set_enabled(cfg.obs);
     let config = RivuletConfig::default()
         .with_failure_timeout(cfg.failure_timeout)
         .with_forwarding(cfg.forwarding)
         .with_coalescing(cfg.coalescing)
         .with_ack_mode(cfg.ack_mode);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
+    if cfg.durable {
+        let seed = cfg.seed;
+        home = home.with_storage(
+            rivulet_storage::WalOptions::default(),
+            Duration::from_secs(10),
+            move |pid| {
+                Arc::new(rivulet_storage::SimBackend::new(seed ^ u64::from(pid.0)))
+                    as Arc<dyn rivulet_storage::StorageBackend>
+            },
+        );
+    }
     let pids: Vec<ProcessId> = (0..cfg.n_processes)
         .map(|i| home.add_host(format!("host{i}")))
         .collect();
@@ -219,6 +243,7 @@ pub fn run_delivery_with_probes(
         deliveries: app_probe.deliveries(),
         transitions: app_probe.transitions(),
         fanout: net.metrics().fanout.snapshot(),
+        obs: net.obs_snapshot(),
     };
     (outcome, emission_probe, app_probe)
 }
@@ -231,6 +256,7 @@ pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
     let mut quiet = cfg.clone();
     quiet.rate_per_sec = 1;
     let mut net = SimNet::new(SimConfig::with_seed(quiet.seed));
+    net.recorder().set_enabled(true);
     let config = RivuletConfig::default()
         .with_failure_timeout(quiet.failure_timeout)
         .with_forwarding(quiet.forwarding)
@@ -266,7 +292,7 @@ pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
     let _ = home.add_app(app);
     let _home: Home = home.build();
     net.run_until(Time::ZERO + quiet.duration);
-    net.metrics().wifi_bytes
+    net.obs_snapshot().counter("net.wifi_bytes")
 }
 
 /// Renders a duration as fractional milliseconds for table output.

@@ -21,6 +21,7 @@ use rivulet_core::config::{AckMode, ForwardingMode};
 use rivulet_core::delivery::Delivery;
 use rivulet_core::messages::{Frame, ProcMsg};
 use rivulet_net::metrics::FanoutSnapshot;
+use rivulet_obs::Recorder;
 use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{Duration, Event, EventId, EventKind, Payload, ProcessId, SensorId, Time};
 
@@ -107,14 +108,27 @@ pub fn fan_out_naive(msgs: &[ProcMsg], peers: usize) -> u64 {
 /// queued more than one. A flood hands every destination the same
 /// parts, so (as in the process outbox) the frame itself is assembled
 /// once and cheap-cloned per peer.
+///
+/// The path carries a [`Recorder`] exactly where the production outbox
+/// does; the micro benchmark passes a *disabled* recorder, which is
+/// how the "disabled recorder is a no-op" claim is verified — the
+/// measured throughput must stay within noise of the uninstrumented
+/// baseline in `BENCH_fanout.json`.
 #[must_use]
-pub fn fan_out_coalesced(msgs: &[ProcMsg], peers: usize, pool: &mut WriterPool) -> u64 {
+pub fn fan_out_coalesced(
+    msgs: &[ProcMsg],
+    peers: usize,
+    pool: &mut WriterPool,
+    obs: &Recorder,
+) -> u64 {
     let parts: Vec<Bytes> = msgs.iter().map(|m| pool.encode(m)).collect();
     let mut bytes = 0u64;
     if parts.len() == 1 {
         for _ in 0..peers {
             bytes += parts[0].clone().len() as u64;
+            obs.inc("fanout.sends");
         }
+        obs.add("fanout.bytes", bytes);
         return bytes;
     }
     let mut w = pool.checkout();
@@ -122,7 +136,10 @@ pub fn fan_out_coalesced(msgs: &[ProcMsg], peers: usize, pool: &mut WriterPool) 
     pool.put_back(w);
     for _ in 0..peers {
         bytes += framed.clone().len() as u64;
+        obs.inc("fanout.sends");
     }
+    obs.add("fanout.bytes", bytes);
+    obs.observe("fanout.frame_bytes", framed.len() as u64);
     bytes
 }
 
@@ -141,6 +158,9 @@ pub struct MicroPoint {
 #[must_use]
 pub fn run_micro(w: &MicroWorkload, activations: u64, coalesced: bool) -> MicroPoint {
     let mut pool = WriterPool::new();
+    // A disabled recorder on the timed path: the instrumentation cost
+    // the production outbox pays when observability is off.
+    let obs = Recorder::default();
     // A small rotation of pre-built activations keeps cache effects
     // realistic without timing event construction itself.
     let prebuilt: Vec<Vec<ProcMsg>> = (0..8).map(|a| activation_msgs(w, a)).collect();
@@ -149,7 +169,7 @@ pub fn run_micro(w: &MicroWorkload, activations: u64, coalesced: bool) -> MicroP
     for a in 0..activations {
         let msgs = &prebuilt[(a % prebuilt.len() as u64) as usize];
         total_bytes += if coalesced {
-            fan_out_coalesced(msgs, w.peers, &mut pool)
+            fan_out_coalesced(msgs, w.peers, &mut pool, &obs)
         } else {
             fan_out_naive(msgs, w.peers)
         };
@@ -235,12 +255,13 @@ pub fn sim_scenario(workload: SimWorkload, optimized: bool) -> DeliveryScenario 
 /// Runs one sim point, timing the execution.
 #[must_use]
 pub fn run_sim_point(workload: SimWorkload, optimized: bool) -> SimPoint {
-    let cfg = sim_scenario(workload, optimized);
+    let mut cfg = sim_scenario(workload, optimized);
+    cfg.obs = true;
     let background = background_wifi_bytes(&cfg);
     let start = Instant::now();
     let out = run_delivery(&cfg);
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    let foreground = out.wifi_bytes.saturating_sub(background);
+    let foreground = out.obs.counter("net.wifi_bytes").saturating_sub(background);
     SimPoint {
         workload: workload.label(),
         optimized,
@@ -263,7 +284,7 @@ mod tests {
         assert_eq!(msgs.len(), w.batch);
         let mut pool = WriterPool::new();
         let naive = fan_out_naive(&msgs, w.peers);
-        let coalesced = fan_out_coalesced(&msgs, w.peers, &mut pool);
+        let coalesced = fan_out_coalesced(&msgs, w.peers, &mut pool, &Recorder::default());
         // Coalescing adds frame framing but removes nothing: the byte
         // totals stay within the frame-overhead margin of each other.
         assert!(naive > 0 && coalesced > 0);
@@ -280,9 +301,25 @@ mod tests {
         let mut pool = WriterPool::new();
         // One part → no frame: byte-for-byte the plain encoding.
         assert_eq!(
-            fan_out_coalesced(&msgs, w.peers, &mut pool),
+            fan_out_coalesced(&msgs, w.peers, &mut pool, &Recorder::default()),
             msgs[0].to_bytes().len() as u64
         );
+    }
+
+    #[test]
+    fn disabled_recorder_observes_nothing_enabled_recorder_counts_sends() {
+        let w = MicroWorkload::broadcast_heavy();
+        let msgs = activation_msgs(&w, 0);
+        let mut pool = WriterPool::new();
+        let off = Recorder::default();
+        let _ = fan_out_coalesced(&msgs, w.peers, &mut pool, &off);
+        assert_eq!(off.snapshot(), rivulet_obs::ObsSnapshot::default());
+        let on = Recorder::default();
+        on.set_enabled(true);
+        let bytes = fan_out_coalesced(&msgs, w.peers, &mut pool, &on);
+        let snap = on.snapshot();
+        assert_eq!(snap.counter("fanout.sends"), w.peers as u64);
+        assert_eq!(snap.counter("fanout.bytes"), bytes);
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub fn delivery_bytes(
     // non-receiver until all five receive.
     cfg.receivers = (0..receiving).map(|i| (i + 1) % 5).collect();
     cfg.receivers.sort_unstable();
-    let total = run_delivery(&cfg).wifi_bytes;
+    cfg.obs = true;
+    let total = run_delivery(&cfg).obs.counter("net.wifi_bytes");
     let background = background_wifi_bytes(&cfg);
     total.saturating_sub(background)
 }

@@ -7,12 +7,17 @@
 //! events (≈ 20 events lost); under Gapless the promotion replays the
 //! replicated-but-unprocessed backlog, visible as a catch-up spike.
 
+use std::collections::BTreeSet;
+
 use rivulet_core::delivery::Delivery;
+use rivulet_obs::ObsSnapshot;
 use rivulet_types::{Duration, Time};
 
 use crate::common::{run_delivery, DeliveryScenario};
 
-/// Result of one failover run.
+/// Result of one failover run. Every field below is derived from the
+/// run's [`ObsSnapshot`] — the `app.delivery` and `exec.promoted`
+/// timeline events — not from probe internals.
 #[derive(Debug, Clone)]
 pub struct FailoverOutcome {
     /// Events delivered per one-second bucket.
@@ -23,6 +28,9 @@ pub struct FailoverOutcome {
     pub emitted: u64,
     /// When the replacement primary promoted itself.
     pub promoted_at: Option<Time>,
+    /// The full observability snapshot of the run (failover spans,
+    /// delay histograms, …).
+    pub obs: ObsSnapshot,
 }
 
 /// Runs the crash experiment.
@@ -33,26 +41,31 @@ pub fn run(delivery: Delivery, crash_at: Time, duration: Duration, seed: u64) ->
     cfg.crash_app_at = Some(crash_at);
     cfg.duration = duration;
     cfg.seed = seed;
+    cfg.obs = true;
     let out = run_delivery(&cfg);
     let seconds = duration.as_micros().div_ceil(1_000_000) as usize;
     let mut per_second = vec![0u64; seconds];
-    for d in &out.deliveries {
+    let mut unique: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for d in out.obs.events_named("app.delivery") {
+        unique.insert((d.key, d.value));
         let bucket = (d.at.as_micros() / 1_000_000) as usize;
         if bucket < seconds {
             per_second[bucket] += 1;
         }
     }
     let promoted_at = out
-        .transitions
+        .obs
+        .events_named("exec.promoted")
         .iter()
-        .filter(|(at, _, active)| *active && *at > crash_at)
-        .map(|(at, _, _)| *at)
+        .filter(|e| e.at > crash_at)
+        .map(|e| e.at)
         .min();
     FailoverOutcome {
         per_second,
-        unique_delivered: out.unique_delivered,
+        unique_delivered: unique.len(),
         emitted: out.emitted,
         promoted_at,
+        obs: out.obs,
     }
 }
 
@@ -100,6 +113,31 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(spike >= 20, "expected catch-up spike, saw {spike}/s");
+    }
+
+    #[test]
+    fn failover_span_matches_fig7_timeline() {
+        let out = run(Delivery::Gapless, CRASH, LEN, 11);
+        let spans = out.obs.spans_named("failover");
+        assert_eq!(spans.len(), 1, "one crash, one failover span: {spans:?}");
+        let span = spans[0];
+        // Opened at crash injection.
+        assert_eq!(span.start, CRASH);
+        // Closed by the replacement's first post-promotion delivery,
+        // i.e. essentially at promotion time (replay starts there).
+        let end = span.end.expect("span closed after promotion");
+        let promoted = out.promoted_at.expect("promoted");
+        assert!(
+            end >= promoted && end <= promoted + Duration::from_millis(500),
+            "span closed at {end}, promotion at {promoted}"
+        );
+        // The whole interruption sits inside the §8.4 envelope:
+        // 2 s detection threshold plus keep-alive slack.
+        let gap = span.duration().expect("closed span");
+        assert!(
+            gap >= Duration::from_secs(2) && gap <= Duration::from_millis(3_500),
+            "failover span lasted {gap}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use rivulet_net::link::ActorClass;
 use rivulet_net::live::LiveNet;
 use rivulet_net::metrics::FanoutStats;
 use rivulet_net::sim::SimNet;
+use rivulet_obs::Recorder;
 use rivulet_types::{ActuationState, ActuatorId, Duration, ProcessId, SensorId};
 
 use crate::app::AppSpec;
@@ -120,6 +121,12 @@ pub trait Driver {
     /// actor records its encode-once / coalescing savings into this
     /// instance, and the driver reports them via its net metrics.
     fn fanout_stats(&self) -> Arc<FanoutStats>;
+
+    /// The driver's unified observability handle (see `rivulet-obs`).
+    /// Every process deployed through [`HomeBuilder`] records into a
+    /// clone of this recorder; disabled by default, so deployments pay
+    /// nothing unless a harness enables it.
+    fn recorder(&self) -> Recorder;
 }
 
 impl Driver for SimNet {
@@ -135,6 +142,10 @@ impl Driver for SimNet {
     fn fanout_stats(&self) -> Arc<FanoutStats> {
         Arc::clone(&self.metrics().fanout)
     }
+
+    fn recorder(&self) -> Recorder {
+        SimNet::recorder(self)
+    }
 }
 
 impl Driver for LiveNet {
@@ -149,6 +160,10 @@ impl Driver for LiveNet {
 
     fn fanout_stats(&self) -> Arc<FanoutStats> {
         Arc::clone(&self.metrics().fanout)
+    }
+
+    fn recorder(&self) -> Recorder {
+        LiveNet::recorder(self)
     }
 }
 
@@ -414,6 +429,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
 
         // Processes first (they defer directory reads to start-up).
         let fanout = self.driver.fanout_stats();
+        let obs = self.driver.recorder();
         let mut processes = Vec::new();
         for (i, name) in self.hosts.iter().enumerate() {
             let pid = ProcessId(i as u32);
@@ -429,6 +445,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                 }),
                 store_probe: self.store_probe.clone(),
                 fanout: Arc::clone(&fanout),
+                obs: obs.clone(),
             };
             let actor = self.driver.add_boxed_actor(
                 name,

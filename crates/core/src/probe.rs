@@ -6,12 +6,23 @@
 //! app-visible occurrence into it, and the harness reads it after (or
 //! during) a run. Probes are shared `Arc`s so they survive process
 //! crash–recovery cycles.
+//!
+//! Probe locks are **poison-tolerant**: a panicking actor thread (the
+//! live driver runs each actor on its own OS thread) must not poison a
+//! probe and take the whole harness down with it, so every lock
+//! recovers the data instead of propagating the poison.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use rivulet_types::{AppId, Command, Duration, EventId, ProcessId, Time};
+
+/// Locks `mutex`, recovering the guarded data if a panicking thread
+/// poisoned it.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One event processed by an active logic node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,32 +66,23 @@ impl AppProbe {
 
     /// Records an event processed by an active logic node.
     pub fn record_delivery(&self, record: DeliveryRecord) {
-        self.deliveries.lock().expect("probe lock").push(record);
+        lock_recovering(&self.deliveries).push(record);
     }
 
     /// Records a command issued by the app.
     pub fn record_command(&self, at: Time, command: Command) {
-        self.commands
-            .lock()
-            .expect("probe lock")
-            .push((at, command));
+        lock_recovering(&self.commands).push((at, command));
     }
 
     /// Records a user alert raised by the app.
     pub fn record_alert(&self, at: Time, by: ProcessId, message: String) {
-        self.alerts
-            .lock()
-            .expect("probe lock")
-            .push((at, by, message));
+        lock_recovering(&self.alerts).push((at, by, message));
     }
 
     /// Records a promotion (`active = true`) or demotion of the logic
     /// node at `process`.
     pub fn record_transition(&self, at: Time, process: ProcessId, active: bool) {
-        self.transitions
-            .lock()
-            .expect("probe lock")
-            .push((at, process, active));
+        lock_recovering(&self.transitions).push((at, process, active));
     }
 
     /// Records a missed polling epoch (§4.1's exception).
@@ -98,14 +100,14 @@ impl AppProbe {
     /// or after a failover replay).
     #[must_use]
     pub fn deliveries(&self) -> Vec<DeliveryRecord> {
-        self.deliveries.lock().expect("probe lock").clone()
+        lock_recovering(&self.deliveries).clone()
     }
 
     /// Count of *distinct* events processed — the Fig. 6 "% events
     /// delivered" numerator.
     #[must_use]
     pub fn unique_delivered(&self) -> usize {
-        let deliveries = self.deliveries.lock().expect("probe lock");
+        let deliveries = lock_recovering(&self.deliveries);
         let set: BTreeSet<EventId> = deliveries.iter().map(|d| d.event).collect();
         set.len()
     }
@@ -113,9 +115,7 @@ impl AppProbe {
     /// Delays of all deliveries (Fig. 4 metric).
     #[must_use]
     pub fn delays(&self) -> Vec<Duration> {
-        self.deliveries
-            .lock()
-            .expect("probe lock")
+        lock_recovering(&self.deliveries)
             .iter()
             .map(DeliveryRecord::delay)
             .collect()
@@ -135,19 +135,19 @@ impl AppProbe {
     /// Commands issued.
     #[must_use]
     pub fn commands(&self) -> Vec<(Time, Command)> {
-        self.commands.lock().expect("probe lock").clone()
+        lock_recovering(&self.commands).clone()
     }
 
     /// Alerts raised.
     #[must_use]
     pub fn alerts(&self) -> Vec<(Time, ProcessId, String)> {
-        self.alerts.lock().expect("probe lock").clone()
+        lock_recovering(&self.alerts).clone()
     }
 
     /// Promotion/demotion history.
     #[must_use]
     pub fn transitions(&self) -> Vec<(Time, ProcessId, bool)> {
-        self.transitions.lock().expect("probe lock").clone()
+        lock_recovering(&self.transitions).clone()
     }
 
     /// Missed polling epochs.
@@ -180,24 +180,19 @@ impl StoreProbe {
 
     /// Records the store size of `process` at `at`.
     pub fn record_len(&self, at: Time, process: ProcessId, len: usize) {
-        self.samples
-            .lock()
-            .expect("probe lock")
-            .push((at, process, len));
+        lock_recovering(&self.samples).push((at, process, len));
     }
 
     /// All samples in recording order.
     #[must_use]
     pub fn samples(&self) -> Vec<(Time, ProcessId, usize)> {
-        self.samples.lock().expect("probe lock").clone()
+        lock_recovering(&self.samples).clone()
     }
 
     /// The largest store size any process ever reported.
     #[must_use]
     pub fn max_len(&self) -> usize {
-        self.samples
-            .lock()
-            .expect("probe lock")
+        lock_recovering(&self.samples)
             .iter()
             .map(|(_, _, len)| *len)
             .max()
@@ -207,9 +202,7 @@ impl StoreProbe {
     /// The largest store size `process` reported at or after `since`.
     #[must_use]
     pub fn max_len_since(&self, process: ProcessId, since: Time) -> usize {
-        self.samples
-            .lock()
-            .expect("probe lock")
+        lock_recovering(&self.samples)
             .iter()
             .filter(|(at, p, _)| *p == process && *at >= since)
             .map(|(_, _, len)| *len)
@@ -235,7 +228,7 @@ impl ProbeRegistry {
     /// Returns the probe for `app`, creating it on first use.
     #[must_use]
     pub fn probe(&self, app: AppId) -> std::sync::Arc<AppProbe> {
-        let mut probes = self.probes.lock().expect("registry lock");
+        let mut probes = lock_recovering(&self.probes);
         if let Some((_, p)) = probes.iter().find(|(a, _)| *a == app) {
             return std::sync::Arc::clone(p);
         }
@@ -298,6 +291,23 @@ mod tests {
         assert_eq!(probe.transitions().len(), 3);
         assert_eq!(probe.alerts().len(), 1);
         assert_eq!(probe.epoch_misses(), 2);
+    }
+
+    #[test]
+    fn poisoned_probe_lock_recovers_data() {
+        let probe = AppProbe::new();
+        probe.record_delivery(record(0, 10, 5));
+        // A panicking actor thread poisons the deliveries mutex.
+        let p = std::sync::Arc::clone(&probe);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.deliveries.lock().unwrap();
+            panic!("simulated actor crash while holding the probe lock");
+        })
+        .join();
+        // Readers and writers keep working and the data survives.
+        probe.record_delivery(record(1, 20, 12));
+        assert_eq!(probe.deliveries().len(), 2);
+        assert_eq!(probe.unique_delivered(), 2);
     }
 
     #[test]

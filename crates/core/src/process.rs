@@ -25,6 +25,7 @@ use bytes::Bytes;
 use rivulet_devices::frame::RadioFrame;
 use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
 use rivulet_net::metrics::FanoutStats;
+use rivulet_obs::Recorder;
 use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time};
 
@@ -103,6 +104,9 @@ pub struct ProcessSpec {
     /// Shared counters for encode-once / coalescing savings, reported
     /// through the driver's net metrics.
     pub fanout: Arc<FanoutStats>,
+    /// Unified observability handle (cloned from the driver); disabled
+    /// recorders make every record call a no-op.
+    pub obs: Recorder,
 }
 
 impl std::fmt::Debug for ProcessSpec {
@@ -134,6 +138,10 @@ struct AppRt {
     runtime: Option<AppRuntime>,
     /// Stale-drop count already copied into the probe.
     stale_reported: u64,
+    /// Actor ids of suspected-dead chain predecessors whose `failover`
+    /// spans this freshly-promoted node must close at its first
+    /// application activity (delivery or actuation).
+    pending_failover: Vec<u64>,
 }
 
 struct Initialized {
@@ -271,6 +279,7 @@ impl RivuletProcess {
                 exec,
                 runtime: None,
                 stale_reported: 0,
+                pending_failover: Vec::new(),
             });
         }
 
@@ -350,8 +359,16 @@ impl RivuletProcess {
         );
         let mut processed: HashMap<SensorId, u64> = HashMap::new();
         let wal = self.spec.storage.as_ref().map(|durability| {
-            let (wal, recovered) =
+            let (mut wal, recovered) =
                 Wal::open(Arc::clone(&durability.backend), durability.options).expect("wal open");
+            wal.attach_recorder(self.spec.obs.clone());
+            self.spec.obs.inc("wal.recoveries");
+            self.spec
+                .obs
+                .add("wal.recovered_events", recovered.events.len() as u64);
+            self.spec
+                .obs
+                .add("wal.recovery_dropped_bytes", recovered.dropped_bytes as u64);
             if let Some(checkpoint) = recovered.checkpoint {
                 for (sensor, seq) in checkpoint.processed {
                     let mark = processed.entry(sensor).or_insert(0);
@@ -485,6 +502,9 @@ impl RivuletProcess {
             if let Some(probe) = &self.spec.store_probe {
                 probe.record_len(now, me, st.gapless.store().len());
             }
+            self.spec
+                .obs
+                .observe("store.len", st.gapless.store().len() as u64);
         }
         self.apply_actions(ctx, actions);
         // Group-commit backstop: a partial EveryN batch (or an idle
@@ -517,11 +537,31 @@ impl RivuletProcess {
                         (Arc::clone(&app.spec), Arc::clone(&app.probe))
                     };
                     probe.record_transition(now, me, true);
+                    self.spec
+                        .obs
+                        .event("exec.promoted", now, u64::from(me.0), idx as u64);
+                    // Failover spans opened at crash detection are
+                    // closed at this node's first post-promotion app
+                    // activity; remember which dead predecessors'
+                    // spans we are taking over.
+                    let suspected: Vec<u64> = {
+                        let st = self.st.as_ref().expect("initialized");
+                        let app = &st.apps[idx];
+                        let chain = app.exec.chain();
+                        let my_pos = chain.iter().position(|p| *p == me).unwrap_or(chain.len());
+                        chain[..my_pos]
+                            .iter()
+                            .filter(|p| !st.membership.is_alive(**p, now))
+                            .filter_map(|p| st.peer_actors.get(p))
+                            .map(|a| u64::from(a.0))
+                            .collect()
+                    };
                     let runtime = AppRuntime::new(spec).expect("validated app");
                     {
                         let app = &mut self.st.as_mut().expect("initialized").apps[idx];
                         app.runtime = Some(runtime);
                         app.stale_reported = 0;
+                        app.pending_failover = suspected;
                     }
                     // Arm this app's window timers.
                     let timers: Vec<(usize, Duration)> = {
@@ -539,8 +579,12 @@ impl RivuletProcess {
                     self.replay_outstanding(ctx, idx);
                 }
                 Some(Transition::Demoted) => {
+                    self.spec
+                        .obs
+                        .event("exec.demoted", now, u64::from(me.0), idx as u64);
                     let st = self.st.as_mut().expect("initialized");
                     st.apps[idx].runtime = None;
+                    st.apps[idx].pending_failover.clear();
                     st.apps[idx].probe.record_transition(now, me, false);
                     let to_cancel: Vec<usize> = st
                         .window_timers
@@ -598,17 +642,45 @@ impl RivuletProcess {
                 event: event.id,
                 emitted_at: event.emitted_at,
             });
+            self.spec.obs.inc("app.deliveries");
+            self.spec.obs.event(
+                "app.delivery",
+                now,
+                u64::from(event.id.sensor.as_u32()),
+                event.id.seq,
+            );
+            self.spec.obs.observe(
+                "app.delay_us",
+                now.duration_since(event.emitted_at).as_micros(),
+            );
             let outputs = runtime.on_event(now, event);
             let stale = runtime.stale_drops();
             if stale > app.stale_reported {
                 app.probe.record_stale_drops(stale - app.stale_reported);
+                self.spec
+                    .obs
+                    .add("app.stale_drops", stale - app.stale_reported);
                 app.stale_reported = stale;
             }
             let mark = st.processed.entry(event.id.sensor).or_insert(0);
             *mark = (*mark).max(event.id.seq);
             outputs
         };
+        self.close_failover_spans(app_idx, now);
         self.handle_outputs(ctx, app_idx, outputs);
+    }
+
+    /// Closes any pending `failover` spans for `app_idx`: the first
+    /// app-visible activity after a promotion marks the end of the
+    /// service interruption measured by the span (Fig. 7 timeline).
+    fn close_failover_spans(&mut self, app_idx: usize, now: Time) {
+        let pending = {
+            let st = self.st.as_mut().expect("initialized");
+            std::mem::take(&mut st.apps[app_idx].pending_failover)
+        };
+        for key in pending {
+            self.spec.obs.span_close("failover", key, now);
+        }
     }
 
     /// Routes a newly known event to every active app (Gapless
@@ -893,11 +965,16 @@ impl RivuletProcess {
                         st.apps[app_idx].probe.record_command(now, command.clone());
                         command
                     };
+                    self.spec.obs.inc("app.commands");
+                    self.close_failover_spans(app_idx, now);
                     self.route_command(ctx, command);
                 }
                 OpOutput::Alert { message } => {
-                    let st = self.st.as_ref().expect("initialized");
-                    st.apps[app_idx].probe.record_alert(now, me, message);
+                    {
+                        let st = self.st.as_ref().expect("initialized");
+                        st.apps[app_idx].probe.record_alert(now, me, message);
+                    }
+                    self.spec.obs.inc("app.alerts");
                 }
                 OpOutput::Emit { .. } => {
                     // Internal cascades were resolved inside the runtime.
@@ -1254,6 +1331,7 @@ impl RivuletProcess {
                 let app = &mut st.apps[idx];
                 if let Some(runtime) = app.runtime.as_mut() {
                     app.probe.record_epoch_miss();
+                    self.spec.obs.inc("app.epoch_misses");
                     runtime.on_epoch_miss(now, sensor)
                 } else {
                     Vec::new()

@@ -202,6 +202,22 @@ impl LiveNet {
         self.router.metrics.lock().clone()
     }
 
+    /// The unified observability handle shared by this driver and every
+    /// process deployed on it. Disabled by default; enable it to
+    /// collect an [`rivulet_obs::ObsSnapshot`] (or a Prometheus text
+    /// dump) from a live run.
+    #[must_use]
+    pub fn recorder(&self) -> rivulet_obs::Recorder {
+        self.router.metrics.lock().obs.clone()
+    }
+
+    /// Exports the unified observability snapshot accumulated so far
+    /// (see [`NetMetrics::obs_snapshot`]).
+    #[must_use]
+    pub fn obs_snapshot(&self) -> rivulet_obs::ObsSnapshot {
+        self.router.metrics.lock().obs_snapshot()
+    }
+
     /// Sets the loss probability on the directed link `from → to`.
     pub fn set_loss(&self, from: ActorId, to: ActorId, loss: f64) {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
@@ -236,11 +252,22 @@ impl LiveNet {
     /// discarded until [`LiveNet::recover`].
     pub fn crash(&self, actor: ActorId) {
         let _ = self.router.inboxes.read()[actor.0 as usize].send(ThreadInput::Crash);
+        let now = self.router.now();
+        let metrics = self.router.metrics.lock();
+        let key = u64::from(actor.0);
+        metrics.obs.event("net.crash", now, key, 0);
+        metrics.obs.span_open("failover", key, now);
     }
 
     /// Recovers a crashed `actor`, rebuilding it from its factory.
     pub fn recover(&self, actor: ActorId) {
         let _ = self.router.inboxes.read()[actor.0 as usize].send(ThreadInput::Recover);
+        let now = self.router.now();
+        self.router
+            .metrics
+            .lock()
+            .obs
+            .event("net.recover", now, u64::from(actor.0), 0);
     }
 
     /// Injects a message into `to` as if sent by `from`; lets external
@@ -553,6 +580,31 @@ mod tests {
             wait_until(2_000, || replies.load(Ordering::SeqCst) > resumed),
             "recovered echo should reply again"
         );
+        net.shutdown();
+    }
+
+    #[test]
+    fn live_driver_exports_prometheus_snapshot() {
+        let mut net = LiveNet::new(LiveConfig::default());
+        net.recorder().set_enabled(true);
+        let echo = net.add_actor("echo", ActorClass::Process, || Box::new(Echo));
+        let replies = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&replies);
+        net.add_actor("ping", ActorClass::Process, move || {
+            Box::new(Pinger {
+                peer: echo,
+                replies: Arc::clone(&r),
+            })
+        });
+        assert!(wait_until(2_000, || replies.load(Ordering::SeqCst) >= 3));
+        net.crash(echo);
+        let snap = net.obs_snapshot();
+        assert!(snap.counter("net.messages_sent") >= 6);
+        assert_eq!(snap.events_named("net.crash").len(), 1);
+        assert_eq!(snap.spans_named("failover").len(), 1);
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE net_messages_sent counter"));
+        assert!(text.contains("# TYPE net_payload_bytes histogram"));
         net.shutdown();
     }
 

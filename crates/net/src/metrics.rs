@@ -1,20 +1,35 @@
-//! Network accounting used by the overhead experiments.
+//! Network accounting, bridged into the unified observability layer.
 //!
 //! The Fig. 5 experiment of the paper compares the *network overhead* —
 //! "the amount of data transferred over the home network for delivering
 //! an event" — of Gap, Gapless, and naive broadcast. [`NetMetrics`]
 //! charges every routed message (payload + frame header) to the sending
-//! actor and to the link class it crossed, so the harness can report
-//! exactly that quantity.
+//! actor and to the link class it crossed, and mirrors every count into
+//! a shared [`rivulet_obs::Recorder`] under the `net.*` and `fanout.*`
+//! names cataloged in `OBSERVABILITY.md`. Experiments read the
+//! [`rivulet_obs::ObsSnapshot`] produced by [`NetMetrics::obs_snapshot`]
+//! (via the drivers' `obs_snapshot()`); the public counter fields
+//! remain for driver-internal assertions and cheap in-test peeking.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use rivulet_obs::{ObsSnapshot, Recorder};
 use rivulet_types::wire::FRAME_HEADER_BYTES;
 
 use crate::actor::ActorId;
 use crate::link::DropReason;
+
+/// Observability counter name for a drop reason.
+#[must_use]
+pub fn drop_counter_name(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::RandomLoss => "net.drops.random_loss",
+        DropReason::Blocked => "net.drops.blocked",
+        DropReason::DestinationDown => "net.drops.destination_down",
+    }
+}
 
 /// Shared counters for the encode-once / frame-coalescing fan-out
 /// path.
@@ -111,6 +126,10 @@ pub struct NetMetrics {
     /// (shared: cloning the metrics clones the handle, not the
     /// counters).
     pub fanout: Arc<FanoutStats>,
+    /// Unified observability handle every count is mirrored into
+    /// (shared: cloning the metrics clones the handle). Disabled by
+    /// default, so mirroring is a no-op unless a harness enables it.
+    pub obs: Recorder,
 }
 
 impl NetMetrics {
@@ -131,21 +150,34 @@ impl NetMetrics {
             self.radio_bytes += total;
         }
         *self.bytes_by_sender.entry(from).or_insert(0) += total;
+        self.obs.inc("net.messages_sent");
+        self.obs.add(
+            if wifi {
+                "net.wifi_bytes"
+            } else {
+                "net.radio_bytes"
+            },
+            total,
+        );
+        self.obs.observe("net.payload_bytes", payload_len as u64);
     }
 
     /// Records a successful delivery.
     pub fn record_delivery(&mut self) {
         self.messages_delivered += 1;
+        self.obs.inc("net.messages_delivered");
     }
 
     /// Records a dropped message.
     pub fn record_drop(&mut self, reason: DropReason) {
         *self.drops.entry(reason).or_insert(0) += 1;
+        self.obs.inc(drop_counter_name(reason));
     }
 
     /// Records a timer firing.
     pub fn record_timer(&mut self) {
         self.timers_fired += 1;
+        self.obs.inc("net.timers_fired");
     }
 
     /// Total bytes sent across both link classes.
@@ -158,6 +190,22 @@ impl NetMetrics {
     #[must_use]
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// Exports the unified observability snapshot, folding the
+    /// process-side [`FanoutStats`] atomics in as `fanout.*` counters
+    /// so one snapshot carries the complete network story.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut snap = self.obs.snapshot();
+        if self.obs.is_enabled() {
+            let fanout = self.fanout.snapshot();
+            snap.set_counter("fanout.frames_coalesced", fanout.frames_coalesced);
+            snap.set_counter("fanout.messages_avoided", fanout.messages_avoided);
+            snap.set_counter("fanout.encode_bytes_saved", fanout.encode_bytes_saved);
+            snap.set_counter("fanout.acks_avoided", fanout.acks_avoided);
+        }
+        snap
     }
 }
 
@@ -210,6 +258,38 @@ mod tests {
         assert_eq!(clone.fanout.snapshot().acks_avoided, 2);
         stats.reset();
         assert_eq!(m.fanout.snapshot(), FanoutSnapshot::default());
+    }
+
+    #[test]
+    fn obs_mirrors_counts_and_folds_fanout() {
+        let mut m = NetMetrics::new();
+        m.obs.set_enabled(true);
+        m.record_send(ActorId(1), 100, true);
+        m.record_send(ActorId(1), 4, false);
+        m.record_delivery();
+        m.record_drop(DropReason::Blocked);
+        m.record_timer();
+        m.fanout.record_frame(3);
+        let snap = m.obs_snapshot();
+        assert_eq!(snap.counter("net.messages_sent"), 2);
+        assert_eq!(snap.counter("net.wifi_bytes"), m.wifi_bytes);
+        assert_eq!(snap.counter("net.radio_bytes"), m.radio_bytes);
+        assert_eq!(snap.counter("net.messages_delivered"), 1);
+        assert_eq!(snap.counter("net.drops.blocked"), 1);
+        assert_eq!(snap.counter("net.timers_fired"), 1);
+        assert_eq!(snap.counter("fanout.frames_coalesced"), 1);
+        assert_eq!(snap.counter("fanout.messages_avoided"), 2);
+        assert_eq!(snap.histogram("net.payload_bytes").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn disabled_obs_snapshot_is_empty() {
+        let mut m = NetMetrics::new();
+        m.record_send(ActorId(1), 100, true);
+        m.fanout.record_frame(2);
+        let snap = m.obs_snapshot();
+        assert_eq!(snap.counter("net.messages_sent"), 0);
+        assert_eq!(snap.counter("fanout.frames_coalesced"), 0);
     }
 
     #[test]

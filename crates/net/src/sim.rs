@@ -227,13 +227,32 @@ impl SimNet {
     }
 
     /// Resets the network counters (e.g. after a warm-up phase). The
-    /// shared fan-out stats handle is preserved — process actors hold
-    /// clones of it — and its counters are zeroed in place.
+    /// shared fan-out stats handle and observability recorder are
+    /// preserved — process actors hold clones of both — and their
+    /// contents are zeroed in place.
     pub fn reset_metrics(&mut self) {
         let fanout = std::sync::Arc::clone(&self.metrics.fanout);
         fanout.reset();
+        let obs = self.metrics.obs.clone();
+        obs.reset();
         self.metrics = NetMetrics::new();
         self.metrics.fanout = fanout;
+        self.metrics.obs = obs;
+    }
+
+    /// The unified observability handle shared by this driver and every
+    /// process deployed on it. Disabled by default; enable it before a
+    /// run to collect an [`rivulet_obs::ObsSnapshot`].
+    #[must_use]
+    pub fn recorder(&self) -> rivulet_obs::Recorder {
+        self.metrics.obs.clone()
+    }
+
+    /// Exports the unified observability snapshot for this run (see
+    /// [`NetMetrics::obs_snapshot`]).
+    #[must_use]
+    pub fn obs_snapshot(&self) -> rivulet_obs::ObsSnapshot {
+        self.metrics.obs_snapshot()
     }
 
     /// The driver trace.
@@ -390,6 +409,12 @@ impl SimNet {
                 let slot = &mut self.slots[actor.0 as usize];
                 if slot.instance.take().is_some() {
                     self.trace.record(self.now, TraceEvent::Crashed { actor });
+                    let key = u64::from(actor.0);
+                    self.metrics.obs.event("net.crash", self.now, key, 0);
+                    // Failover span: opened at the crash, closed by the
+                    // process runtime at the first post-promotion
+                    // application activity.
+                    self.metrics.obs.span_open("failover", key, self.now);
                 }
             }
             Control::Recover(actor) => {
@@ -400,6 +425,12 @@ impl SimNet {
                     slot.instance = Some((slot.factory)());
                     let inc = slot.incarnation;
                     self.trace.record(self.now, TraceEvent::Recovered { actor });
+                    self.metrics.obs.event(
+                        "net.recover",
+                        self.now,
+                        u64::from(actor.0),
+                        u64::from(inc),
+                    );
                     self.push(self.now, Pending::Start { actor, inc });
                 }
             }

@@ -1,10 +1,18 @@
-//! Optional event tracing for debugging and timeline experiments.
+//! Optional per-message tracing for interactive debugging.
 //!
-//! The Fig. 7 experiment plots "number of events received by an active
-//! logic node" over time around an induced process crash. Rather than
-//! bake plotting into the protocols, drivers record a [`Trace`] of
-//! driver-level occurrences which the harness (or a debugging session)
-//! can query afterwards.
+//! [`Trace`] is the driver-local debugging tap: a raw log of every
+//! send/deliver/drop/crash/recover a driver performed, with full actor
+//! identities, for dissecting a single run by hand or in tests.
+//!
+//! It is **not** the experiment surface. Timeline measurements — the
+//! Fig. 7 events-over-time plot, failover spans, crash markers — come
+//! from the unified observability layer (`rivulet-obs`): drivers emit
+//! `net.crash`/`net.recover` timeline events and the process runtime
+//! emits `app.delivery`/`exec.promoted` into the shared
+//! [`rivulet_obs::Recorder`], and harnesses read the resulting
+//! [`rivulet_obs::ObsSnapshot`]. Keep `Trace` disabled unless you need
+//! message-level forensics; it stores one entry per network occurrence
+//! rather than aggregate counters.
 
 use rivulet_types::Time;
 

@@ -1,0 +1,293 @@
+//! Immutable exports of a [`Recorder`](crate::Recorder)'s state.
+//!
+//! A snapshot is plain data: `BTreeMap`s keyed by static metric names
+//! plus time-ordered event and span lists. Two same-seed simulation
+//! runs produce `PartialEq`-identical snapshots, and [`ObsSnapshot::to_json`]
+//! renders them byte-identically — the determinism contract the
+//! experiment harness asserts.
+
+use std::collections::BTreeMap;
+
+use rivulet_types::{Duration, Time};
+
+use crate::histogram::Histogram;
+
+/// One instantaneous occurrence on the virtual-time timeline.
+///
+/// `key` and `value` are metric-specific small integers (an actor id,
+/// a sensor id, a sequence number); the catalog in `OBSERVABILITY.md`
+/// documents the meaning per event name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Virtual time of the occurrence.
+    pub at: Time,
+    /// Event name (e.g. `"net.crash"`).
+    pub name: &'static str,
+    /// Metric-specific subject id (e.g. the crashed actor's id).
+    pub key: u64,
+    /// Metric-specific value (e.g. an event sequence number).
+    pub value: u64,
+}
+
+/// An interval on the virtual-time timeline, e.g. a `failover` span
+/// from crash detection to the first post-promotion application
+/// activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"failover"`).
+    pub name: &'static str,
+    /// Metric-specific subject id (e.g. the crashed actor's id).
+    pub key: u64,
+    /// When the span was opened.
+    pub start: Time,
+    /// When the span was closed, or `None` if still open at snapshot
+    /// time.
+    pub end: Option<Time>,
+}
+
+impl SpanRecord {
+    /// Duration of the span, if it has closed.
+    #[must_use]
+    pub fn duration(&self) -> Option<Duration> {
+        self.end.map(|end| end.duration_since(self.start))
+    }
+}
+
+/// A complete, deterministic export of everything a recorder has seen.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Log-scale histograms by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Timeline events in recording order (virtual-time ordered for a
+    /// single driver).
+    pub events: Vec<TimelineEvent>,
+    /// Closed and still-open spans, ordered by `(start, name, key)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl ObsSnapshot {
+    /// Value of counter `name`, zero if absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge `name`, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Overwrites counter `name` — used by layers that fold external
+    /// atomics (e.g. fan-out statistics) into a snapshot at export
+    /// time.
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// All timeline events named `name`, in recording order.
+    #[must_use]
+    pub fn events_named(&self, name: &str) -> Vec<TimelineEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .copied()
+            .collect()
+    }
+
+    /// All spans named `name`, in `(start, name, key)` order.
+    #[must_use]
+    pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .copied()
+            .collect()
+    }
+
+    /// Renders the snapshot as deterministic JSON: map keys are sorted
+    /// (`BTreeMap` iteration order), lists keep recording order, and
+    /// no wall-clock or environment data is included, so equal
+    /// snapshots serialize byte-identically.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (*k, v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (*k, v.to_string())),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| (*k, histogram_json(h))),
+        );
+        out.push_str("},\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"at_us\": {}, \"name\": \"{}\", \"key\": {}, \"value\": {}}}",
+                e.at.as_micros(),
+                e.name,
+                e.key,
+                e.value
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let end = match s.end {
+                Some(t) => t.as_micros().to_string(),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"key\": {}, \"start_us\": {}, \"end_us\": {}}}",
+                s.name,
+                s.key,
+                s.start.as_micros(),
+                end
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders counters, gauges, and histograms in Prometheus text
+    /// exposition format (metric names have `.` replaced by `_`).
+    /// Timeline events and spans have no Prometheus equivalent and are
+    /// omitted — use [`ObsSnapshot::to_json`] for those.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in h.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Replaces `.` with `_` for Prometheus metric-name compatibility.
+fn sanitize(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// Appends `"key": value` pairs (values pre-rendered) to a JSON object
+/// body.
+fn push_map<'k>(out: &mut String, entries: impl Iterator<Item = (&'k str, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{k}\": {v}"));
+    }
+}
+
+/// Renders one histogram as a JSON object.
+fn histogram_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|(bound, count)| format!("[{bound}, {count}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+        h.count(),
+        h.sum(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        buckets.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_renders_stable_json() {
+        let s = ObsSnapshot::default();
+        let json = s.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+        assert_eq!(json, s.to_json(), "rendering is pure");
+    }
+
+    #[test]
+    fn span_duration() {
+        let open = SpanRecord {
+            name: "failover",
+            key: 1,
+            start: Time::from_secs(24),
+            end: None,
+        };
+        assert_eq!(open.duration(), None);
+        let closed = SpanRecord {
+            end: Some(Time::from_millis(26_500)),
+            ..open
+        };
+        assert_eq!(closed.duration(), Some(Duration::from_millis(2_500)));
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let mut s = ObsSnapshot::default();
+        s.set_counter("net.wifi_bytes", 7);
+        s.gauges.insert("store.len", 3);
+        let mut h = Histogram::new();
+        h.observe(5);
+        h.observe(900);
+        s.histograms.insert("app.delay_us", h);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE net_wifi_bytes counter\nnet_wifi_bytes 7\n"));
+        assert!(text.contains("# TYPE store_len gauge\nstore_len 3\n"));
+        assert!(text.contains("app_delay_us_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("app_delay_us_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("app_delay_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("app_delay_us_sum 905\n"));
+        assert!(text.contains("app_delay_us_count 2\n"));
+    }
+}

@@ -1,9 +1,9 @@
 //! Real-filesystem storage backend (`std::fs`).
 //!
 //! Segments are files named `seg-XXXXXXXX.wal` inside one directory
-//! per process. Appends buffer in the OS page cache; [`sync`] maps to
-//! `fdatasync`, matching the durability split the
-//! [`StorageBackend`] contract requires.
+//! per process. Appends buffer in the OS page cache;
+//! [`StorageBackend::sync`] maps to `fdatasync`, matching the
+//! durability split the [`StorageBackend`] contract requires.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};

@@ -34,6 +34,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use rivulet_obs::Recorder;
 use rivulet_types::{Duration, Event, SensorId};
 
 use crate::backend::{Result, SegmentId, StorageBackend};
@@ -120,6 +121,7 @@ pub struct Wal {
     index: BTreeMap<SegmentId, SegmentIndex>,
     latest_checkpoint_segment: Option<SegmentId>,
     metrics: WalMetrics,
+    obs: Recorder,
 }
 
 impl Wal {
@@ -203,9 +205,19 @@ impl Wal {
                 index,
                 latest_checkpoint_segment,
                 metrics: WalMetrics::default(),
+                obs: Recorder::default(),
             },
             recovered,
         ))
+    }
+
+    /// Attaches the unified observability recorder; subsequent
+    /// appends/flushes/checkpoints/compactions are mirrored into it as
+    /// `wal.*` metrics. The process runtime calls this right after
+    /// [`Wal::open`] (the recorder comes from the driver, which the WAL
+    /// cannot see at open time).
+    pub fn attach_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Buffers `event` and flushes if the policy calls for it.
@@ -226,6 +238,7 @@ impl Wal {
             .or_insert(0);
         *slot = (*slot).max(event.id.seq);
         self.metrics.appends += 1;
+        self.obs.inc("wal.appends");
         let should_flush = match self.options.flush_policy {
             FlushPolicy::PerEvent => true,
             FlushPolicy::EveryN(n) => self.pending_events >= n.max(1),
@@ -249,6 +262,7 @@ impl Wal {
         self.flush()?;
         self.latest_checkpoint_segment = Some(self.tail);
         self.metrics.checkpoints += 1;
+        self.obs.inc("wal.checkpoints");
         Ok(())
     }
 
@@ -271,12 +285,17 @@ impl Wal {
             self.tail_bytes = 0;
             self.index.insert(self.tail, SegmentIndex::default());
             self.metrics.segments_created += 1;
+            self.obs.inc("wal.segments_created");
         }
         self.backend.append(self.tail, &self.pending)?;
         self.backend.sync(self.tail)?;
         self.tail_bytes += self.pending.len();
         self.metrics.flushes += 1;
         self.metrics.bytes_flushed += self.pending.len() as u64;
+        self.obs.inc("wal.flushes");
+        self.obs.add("wal.bytes_flushed", self.pending.len() as u64);
+        self.obs
+            .observe("wal.flush_bytes", self.pending.len() as u64);
         let tail_index = self.index.entry(self.tail).or_default();
         for (sensor, seq) in self.pending_index.max_seq.drain() {
             let slot = tail_index.max_seq.entry(sensor).or_insert(0);
@@ -318,6 +337,7 @@ impl Wal {
             self.index.remove(&seg);
             deleted += 1;
             self.metrics.segments_deleted += 1;
+            self.obs.inc("wal.segments_deleted");
         }
         Ok(deleted)
     }

@@ -20,5 +20,6 @@
 pub use rivulet_core as core;
 pub use rivulet_devices as devices;
 pub use rivulet_net as net;
+pub use rivulet_obs as obs;
 pub use rivulet_storage as storage;
 pub use rivulet_types as types;
