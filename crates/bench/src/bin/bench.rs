@@ -8,12 +8,21 @@
 //! ```
 //!
 //! `--quick` shrinks the iteration counts for CI smoke runs.
-//! `--assert-baseline PATH` compares the fresh coalesced micro
-//! throughput (measured with a *disabled* observability recorder on
-//! the hot path) against the committed `BENCH_fanout.json` and exits
-//! non-zero on a regression beyond `--tolerance` (default 0.25 — wide
-//! enough for cross-machine noise in CI; tighten locally to verify the
-//! < 3% acceptance bound on stable hardware).
+//! `--assert-baseline PATH` enables the regression gates:
+//!
+//! 1. micro: the fresh coalesced throughput (measured with a
+//!    *disabled* observability recorder on the hot path) must stay
+//!    within `--tolerance` of the committed `BENCH_fanout.json`
+//!    (default 0.25 — wide enough for cross-machine noise in CI;
+//!    tighten locally to verify the < 3% acceptance bound on stable
+//!    hardware);
+//! 2. sim: every optimized workload must be at least as fast as its
+//!    unoptimized twin *from the same fresh run* (minus tolerance) —
+//!    self-relative, so it holds on any machine;
+//! 3. sim: every optimized workload must retire events through
+//!    cumulative acks (`acks_avoided > 0`) — this is exact, because a
+//!    zero means the wiring is dead, which is how the original
+//!    regression went unnoticed.
 
 use rivulet_bench::fanout::{
     run_micro, run_sim_point, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
@@ -168,7 +177,7 @@ fn main() {
             sims.push(p);
         }
     }
-    let rows: Vec<(String, rivulet_net::metrics::FanoutSnapshot)> = sims
+    let rows: Vec<(String, f64, rivulet_net::metrics::FanoutSnapshot)> = sims
         .iter()
         .map(|p| {
             (
@@ -177,11 +186,44 @@ fn main() {
                     p.workload,
                     if p.optimized { "after" } else { "before" }
                 ),
+                p.events_per_sec,
                 p.fanout,
             )
         })
         .collect();
     print!("{}", render_fanout_table(&rows));
+
+    // Sim gates: self-relative (fresh optimized vs fresh unoptimized
+    // twin), so they hold on any machine, plus the exact cumulative-ack
+    // liveness check.
+    if baseline_path.is_some() {
+        for p in sims.iter().filter(|p| p.optimized) {
+            let twin = sims
+                .iter()
+                .find(|q| !q.optimized && q.workload == p.workload)
+                .expect("every optimized sim point has an unoptimized twin");
+            let floor = twin.events_per_sec * (1.0 - tolerance);
+            println!(
+                "sim gate {}: optimized {:.0} events/s vs unoptimized {:.0} (floor {floor:.0})",
+                p.workload, p.events_per_sec, twin.events_per_sec
+            );
+            assert!(
+                p.events_per_sec >= floor,
+                "optimized sim workload {} is slower than its unoptimized twin: \
+                 {:.0} events/s < floor {floor:.0} ({:.0} - {tolerance:.2})",
+                p.workload,
+                p.events_per_sec,
+                twin.events_per_sec
+            );
+            assert!(
+                p.fanout.acks_avoided > 0,
+                "cumulative acks retired nothing on optimized sim workload {} \
+                 (acks_avoided == 0): the watermark-retirement path is dead",
+                p.workload
+            );
+        }
+        println!("sim gate: all optimized workloads >= unoptimized twins, acks_avoided > 0");
+    }
 
     let json = format!(
         concat!(

@@ -252,25 +252,48 @@ pub fn sim_scenario(workload: SimWorkload, optimized: bool) -> DeliveryScenario 
     cfg
 }
 
-/// Runs one sim point, timing the execution.
+/// Runs one sim point best-of-3 (see [`run_sim_point_best_of`]).
 #[must_use]
 pub fn run_sim_point(workload: SimWorkload, optimized: bool) -> SimPoint {
+    run_sim_point_best_of(workload, optimized, 3)
+}
+
+/// Runs one sim point `runs` times and keeps the fastest repetition.
+///
+/// The simulation itself is deterministic (same seed → identical
+/// deliveries, bytes, and counters); only the host wall clock varies,
+/// and single-run timings are noisy enough to flip an
+/// optimized-vs-unoptimized comparison. Best-of-N is the standard cure
+/// (the micro bench already uses it): the minimum elapsed time is the
+/// least-interfered-with measurement of the same fixed work.
+#[must_use]
+pub fn run_sim_point_best_of(workload: SimWorkload, optimized: bool, runs: usize) -> SimPoint {
     let mut cfg = sim_scenario(workload, optimized);
     cfg.obs = true;
     let background = background_wifi_bytes(&cfg);
-    let start = Instant::now();
-    let out = run_delivery(&cfg);
-    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    let foreground = out.obs.counter("net.wifi_bytes").saturating_sub(background);
-    SimPoint {
-        workload: workload.label(),
-        optimized,
-        emitted: out.emitted,
-        delivered: out.unique_delivered,
-        events_per_sec: out.unique_delivered as f64 / elapsed,
-        bytes_per_event: foreground as f64 / out.unique_delivered.max(1) as f64,
-        fanout: out.fanout,
+    let mut best: Option<SimPoint> = None;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let out = run_delivery(&cfg);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let foreground = out.obs.counter("net.wifi_bytes").saturating_sub(background);
+        let point = SimPoint {
+            workload: workload.label(),
+            optimized,
+            emitted: out.emitted,
+            delivered: out.unique_delivered,
+            events_per_sec: out.unique_delivered as f64 / elapsed,
+            bytes_per_event: foreground as f64 / out.unique_delivered.max(1) as f64,
+            fanout: out.fanout,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| point.events_per_sec > b.events_per_sec)
+        {
+            best = Some(point);
+        }
     }
+    best.expect("at least one run")
 }
 
 #[cfg(test)]

@@ -111,23 +111,57 @@ pub fn render_fig2() -> String {
     out
 }
 
+/// A dead (zero) counter renders as `-` so it cannot be mistaken for a
+/// small-but-live one: a column of dashes says "this path never fired",
+/// which is exactly the signal that caught the dead cumulative-ack
+/// wiring.
+fn fmt_counter(v: u64) -> String {
+    if v == 0 {
+        "-".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
 /// Renders the encode-once / frame-coalescing counters of a set of
 /// labelled runs as one table (consumed by the `bench` binary next to
-/// `BENCH_fanout.json`).
+/// `BENCH_fanout.json`). Rows are `(label, events/s, counters)`; every
+/// `<workload>/after` row also reports its speedup over the matching
+/// `<workload>/before` row, so an optimized-mode regression is visible
+/// as a `< 1.00x` entry right in the printed table.
 #[must_use]
-pub fn render_fanout_table(rows: &[(String, FanoutSnapshot)]) -> String {
-    let mut out = String::from("Fan-out savings: frames coalesced / messages avoided / encode bytes saved / acks avoided\n");
+pub fn render_fanout_table(rows: &[(String, f64, FanoutSnapshot)]) -> String {
+    let mut out = String::from(
+        "Fan-out savings: frames coalesced / messages avoided / encode bytes saved / acks avoided\n",
+    );
     out.push_str(&format!(
-        "{:<24} {:>10} {:>12} {:>16} {:>12}\n",
-        "run", "frames", "msgs-avoid", "enc-bytes-saved", "acks-avoid"
+        "{:<24} {:>12} {:>10} {:>12} {:>16} {:>12} {:>9}\n",
+        "run", "events/s", "frames", "msgs-avoid", "enc-bytes-saved", "acks-avoid", "speedup"
     ));
-    for (label, snap) in rows {
+    for (label, events_per_sec, snap) in rows {
+        let speedup = label
+            .strip_suffix("/after")
+            .and_then(|workload| {
+                let twin = format!("{workload}/before");
+                rows.iter().find(|(l, ..)| *l == twin)
+            })
+            .map_or_else(
+                || "-".to_owned(),
+                |(_, base, _)| {
+                    if *base > 0.0 {
+                        format!("{:.2}x", events_per_sec / base)
+                    } else {
+                        "-".to_owned()
+                    }
+                },
+            );
         out.push_str(&format!(
-            "{label:<24} {:>10} {:>12} {:>16} {:>12}\n",
-            snap.frames_coalesced,
-            snap.messages_avoided,
-            snap.encode_bytes_saved,
-            snap.acks_avoided
+            "{label:<24} {:>12.0} {:>10} {:>12} {:>16} {:>12} {speedup:>9}\n",
+            events_per_sec,
+            fmt_counter(snap.frames_coalesced),
+            fmt_counter(snap.messages_avoided),
+            fmt_counter(snap.encode_bytes_saved),
+            fmt_counter(snap.acks_avoided),
         ));
     }
     out
@@ -168,7 +202,13 @@ mod tests {
     fn fanout_table_renders_every_row() {
         let rows = vec![
             (
+                "ring/before".to_owned(),
+                50_000.0,
+                FanoutSnapshot::default(),
+            ),
+            (
                 "ring/after".to_owned(),
+                60_000.0,
                 FanoutSnapshot {
                     frames_coalesced: 3,
                     messages_avoided: 4,
@@ -176,11 +216,27 @@ mod tests {
                     acks_avoided: 7,
                 },
             ),
-            ("ring/before".to_owned(), FanoutSnapshot::default()),
         ];
         let t = render_fanout_table(&rows);
         assert_eq!(t.lines().count(), 2 + rows.len());
         assert!(t.contains("ring/after"));
         assert!(t.contains("1024"));
+        // The optimized row reports its speedup over the before twin.
+        assert!(t.contains("1.20x"), "speedup column missing: {t}");
+    }
+
+    #[test]
+    fn fanout_table_dashes_zero_counters_and_unpaired_rows() {
+        let rows = vec![(
+            "micro/after".to_owned(),
+            1_000_000.0,
+            FanoutSnapshot::default(),
+        )];
+        let t = render_fanout_table(&rows);
+        let row = t.lines().last().unwrap();
+        // All four counters are zero and there is no before twin: every
+        // one of them, plus the speedup cell, renders as a dash.
+        assert_eq!(row.matches(" -").count(), 5, "row was: {row}");
+        assert!(!row.contains(" 0 "), "zero must not render as 0: {row}");
     }
 }

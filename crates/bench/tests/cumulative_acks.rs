@@ -1,0 +1,48 @@
+//! End-to-end regression test for the cumulative-ack retirement path.
+//!
+//! The original wiring shipped dead: `on_cumulative_ack` never fired
+//! in simulation runs, so `acks_avoided` stayed zero and every
+//! broadcast receipt paid a per-event ack even in `AckMode::Cumulative`.
+//! No test noticed, because nothing asserted the counter was *live*.
+//! These tests pin the fix at the whole-platform level: an optimized
+//! sim run must retire pending broadcasts via keep-alive watermarks
+//! (counted as avoided acks at the origin), and the unoptimized
+//! per-event twin must keep the counter at exactly zero.
+
+use rivulet_bench::fanout::{run_sim_point, SimWorkload};
+
+#[test]
+fn optimized_broadcast_run_retires_events_via_cumulative_acks() {
+    let p = run_sim_point(SimWorkload::Broadcast, true);
+    assert!(p.delivered > 0, "sanity: the run must deliver events");
+    assert!(
+        p.fanout.acks_avoided > 0,
+        "cumulative acks retired nothing in an optimized broadcast run \
+         (delivered {}): the watermark-retirement path is dead again",
+        p.delivered
+    );
+}
+
+#[test]
+fn optimized_ring_run_retires_tracked_events() {
+    // Ring-origin events are tracked (registered pending without a
+    // flood) and must also retire through received watermarks.
+    let p = run_sim_point(SimWorkload::Ring, true);
+    assert!(
+        p.fanout.acks_avoided > 0,
+        "ring-tracked events never retired via cumulative acks"
+    );
+}
+
+#[test]
+fn per_event_twin_reports_zero_avoided_acks() {
+    // The unoptimized twin runs AckMode::PerEvent: every receipt acks
+    // individually, so nothing is "avoided" and a nonzero counter here
+    // would mean the baseline is quietly running the optimization.
+    let p = run_sim_point(SimWorkload::Broadcast, false);
+    assert!(p.delivered > 0, "sanity: the run must deliver events");
+    assert_eq!(
+        p.fanout.acks_avoided, 0,
+        "per-event baseline must not count avoided acks"
+    );
+}

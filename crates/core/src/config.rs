@@ -76,6 +76,16 @@ pub struct RivuletConfig {
     /// How broadcast deliveries are acknowledged (cumulative watermarks
     /// by default; per-event acks as a fallback).
     pub ack_mode: AckMode,
+    /// Number of sensor shards in the replication store (and the
+    /// pending-delivery maps keyed the same way). One shard reproduces
+    /// the original flat layout; more shards keep hot-path tree walks
+    /// short when many sensors are live.
+    pub store_shards: usize,
+    /// Durability back-pressure: when this many actions are gated
+    /// behind un-flushed WAL appends, the process forces a group commit
+    /// instead of waiting for the flush policy's own trigger. Bounds
+    /// gated-queue growth (and flush latency) under broadcast storms.
+    pub wal_max_gated: usize,
 }
 
 impl Default for RivuletConfig {
@@ -91,6 +101,8 @@ impl Default for RivuletConfig {
             store_gc: true,
             coalescing: true,
             ack_mode: AckMode::Cumulative,
+            store_shards: 8,
+            wal_max_gated: 512,
         }
     }
 }
@@ -147,6 +159,18 @@ impl RivuletConfig {
         self.ack_mode = mode;
         self
     }
+
+    /// Returns a config with the store shard count replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_store_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "store shard count must be positive");
+        self.store_shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +185,20 @@ mod tests {
         assert!(c.anti_entropy);
         assert!(c.coalescing, "coalescing is on by default");
         assert_eq!(c.ack_mode, AckMode::Cumulative);
+        assert_eq!(c.store_shards, 8);
+        assert!(c.wal_max_gated > 0);
+    }
+
+    #[test]
+    fn store_shards_builder() {
+        let c = RivuletConfig::default().with_store_shards(2);
+        assert_eq!(c.store_shards, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "store shard count must be positive")]
+    fn zero_store_shards_panics() {
+        let _ = RivuletConfig::default().with_store_shards(0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Reliable broadcast — the Gapless fallback (§4.1).
+//! Reliable broadcast — the Gapless fallback (§4.1) — and replication
+//! tracking for broadcast-free paths.
 //!
 //! When the ring detects that an event stalled before reaching every
 //! process, the detecting process floods it: send to every peer in the
@@ -7,10 +8,26 @@
 //! once themselves (eager reliable broadcast in the crash-recovery
 //! model, after Boichat & Guerraoui), which tolerates the origin
 //! crashing mid-broadcast.
+//!
+//! Beyond the flood fallback, the same pending machinery tracks
+//! *ring-origin replication* ([`RbcastState::track`]): the ingesting
+//! process registers every fresh event against its peers without
+//! sending anything extra (the ring itself carries the event), and the
+//! peers' cumulative *received* watermarks — piggybacked on their
+//! keep-alive beacons — retire the entries. An entry that outlives its
+//! grace period means the ring (plus anti-entropy) silently failed to
+//! replicate the event, and the origin falls back to a flood. This
+//! closes the window where a ring message dies on a crashed hop and no
+//! surviving process ever meets the paper's stall condition.
+//!
+//! The pending map is sharded by sensor: cumulative acks retire one
+//! `seq <= watermark` range per sensor instead of scanning every
+//! pending broadcast, so retirement cost tracks the events actually
+//! covered rather than the total backlog.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rivulet_types::{Event, EventId, ProcessId, SensorId};
+use rivulet_types::{Duration, Event, EventId, ProcessId, SensorId, Time};
 
 use crate::messages::ProcMsg;
 
@@ -20,45 +37,91 @@ use super::Action;
 #[derive(Debug)]
 pub struct RbcastState {
     me: ProcessId,
-    /// Broadcasts this process originated (or relayed) that still await
-    /// acknowledgements. Ordered so retransmission order is a pure
-    /// function of protocol state (determinism).
-    pending: BTreeMap<EventId, PendingBroadcast>,
+    /// Broadcasts this process originated (or relayed) and ring-origin
+    /// replication entries that still await acknowledgements, sharded
+    /// by sensor. Ordered so retransmission order is a pure function of
+    /// protocol state (determinism).
+    pending: BTreeMap<SensorId, BTreeMap<u64, PendingBroadcast>>,
+    /// Total entries across all sensors (kept so `pending_count` stays
+    /// O(1) despite the sharding).
+    n_pending: usize,
     /// Events this process has already relayed, to bound re-flooding.
-    relayed: BTreeSet<EventId>,
+    /// Sharded like `pending` so watermark GC prunes it by range.
+    relayed: BTreeMap<SensorId, BTreeSet<u64>>,
+    /// Pause before re-flooding an explicit broadcast.
+    retransmit_after: Duration,
+    /// Pause before a tracked (ring-origin) entry escalates to a flood;
+    /// sized so that healthy keep-alive retirement always wins.
+    track_grace: Duration,
 }
 
 #[derive(Debug)]
 struct PendingBroadcast {
     event: Event,
     unacked: BTreeSet<ProcessId>,
+    /// Do not retransmit before this instant (age guard: cumulative
+    /// retirement via keep-alives must get a chance first).
+    retransmit_at: Time,
 }
 
 impl RbcastState {
-    /// Creates broadcast state for process `me`.
+    /// Creates broadcast state for process `me` with zero retransmit
+    /// delays (every tick retransmits — the eager behaviour unit tests
+    /// rely on). Production callers use [`RbcastState::with_timing`].
     #[must_use]
     pub fn new(me: ProcessId) -> Self {
         Self {
             me,
             pending: BTreeMap::new(),
-            relayed: BTreeSet::new(),
+            n_pending: 0,
+            relayed: BTreeMap::new(),
+            retransmit_after: Duration::ZERO,
+            track_grace: Duration::ZERO,
         }
+    }
+
+    /// Sets the retransmission pacing: `retransmit_after` between flood
+    /// retries, `track_grace` before a tracked ring-origin entry first
+    /// escalates to a flood.
+    #[must_use]
+    pub fn with_timing(mut self, retransmit_after: Duration, track_grace: Duration) -> Self {
+        self.retransmit_after = retransmit_after;
+        self.track_grace = track_grace;
+        self
     }
 
     /// Number of broadcasts still awaiting acknowledgements.
     #[must_use]
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.n_pending
+    }
+
+    fn insert_pending(&mut self, event: Event, unacked: BTreeSet<ProcessId>, retransmit_at: Time) {
+        let id = event.id;
+        let prior = self.pending.entry(id.sensor).or_default().insert(
+            id.seq,
+            PendingBroadcast {
+                event,
+                unacked,
+                retransmit_at,
+            },
+        );
+        if prior.is_none() {
+            self.n_pending += 1;
+        }
     }
 
     /// Initiates (or re-initiates) a broadcast of `event` to every peer
     /// in `view` except `me`, as a single encode-once fan-out action.
-    pub fn start(&mut self, event: Event, view: &[ProcessId]) -> Vec<Action> {
+    pub fn start(&mut self, event: Event, view: &[ProcessId], now: Time) -> Vec<Action> {
         let peers: BTreeSet<ProcessId> = view.iter().copied().filter(|p| *p != self.me).collect();
         if peers.is_empty() {
             return Vec::new();
         }
-        self.relayed.insert(event.id);
+        self.relayed
+            .entry(event.id.sensor)
+            .or_default()
+            .insert(event.id.seq);
         let actions = vec![Action::Fanout {
             to: peers.iter().copied().collect(),
             msg: ProcMsg::Broadcast {
@@ -66,22 +129,37 @@ impl RbcastState {
                 origin: self.me,
             },
         }];
-        self.pending.insert(
-            event.id,
-            PendingBroadcast {
-                event,
-                unacked: peers,
-            },
-        );
+        self.insert_pending(event, peers, now + self.retransmit_after);
         actions
+    }
+
+    /// Registers `event` for replication tracking *without* sending
+    /// anything: the ring already carries it. Peers acknowledge through
+    /// the received watermarks on their keep-alives; an entry still
+    /// unacked after the track grace period is re-flooded by
+    /// [`RbcastState::on_tick`] (the silent-stall fallback).
+    pub fn track(&mut self, event: Event, view: &[ProcessId], now: Time) {
+        if self
+            .pending
+            .get(&event.id.sensor)
+            .is_some_and(|m| m.contains_key(&event.id.seq))
+        {
+            return; // already pending (e.g. an explicit flood)
+        }
+        let peers: BTreeSet<ProcessId> = view.iter().copied().filter(|p| *p != self.me).collect();
+        if peers.is_empty() {
+            return;
+        }
+        self.insert_pending(event, peers, now + self.track_grace);
     }
 
     /// A broadcast copy arrived. With `eager_ack` (the `PerEvent` ack
     /// mode) the origin gets an immediate `BroadcastAck`; otherwise the
     /// receipt is acknowledged cumulatively by the *received* watermark
-    /// on our next keep-alive beacon. Either way, if `was_new` and not
-    /// already relayed, a relay flood of our own makes delivery survive
-    /// origin crashes.
+    /// on our next keep-alive beacon. If `was_new` and not already
+    /// relayed, a relay flood of our own makes delivery survive origin
+    /// crashes (pass an empty `view` to suppress relaying — the eager
+    /// baseline floods only from the origin).
     pub fn on_broadcast(
         &mut self,
         event: &Event,
@@ -89,6 +167,7 @@ impl RbcastState {
         was_new: bool,
         view: &[ProcessId],
         eager_ack: bool,
+        now: Time,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         if eager_ack {
@@ -100,19 +179,42 @@ impl RbcastState {
                 },
             });
         }
-        if was_new && !self.relayed.contains(&event.id) {
-            actions.extend(self.start(event.clone(), view));
+        let already_relayed = self
+            .relayed
+            .get(&event.id.sensor)
+            .is_some_and(|s| s.contains(&event.id.seq));
+        if was_new && !already_relayed {
+            actions.extend(self.start(event.clone(), view, now));
         }
         actions
     }
 
+    fn remove_pending(&mut self, id: EventId) {
+        if let Some(per) = self.pending.get_mut(&id.sensor) {
+            if per.remove(&id.seq).is_some() {
+                self.n_pending -= 1;
+            }
+            if per.is_empty() {
+                self.pending.remove(&id.sensor);
+            }
+        }
+    }
+
     /// A peer acknowledged one of our broadcasts.
     pub fn on_ack(&mut self, id: EventId, from: ProcessId) {
-        if let Some(p) = self.pending.get_mut(&id) {
-            p.unacked.remove(&from);
-            if p.unacked.is_empty() {
-                self.pending.remove(&id);
+        let done = match self
+            .pending
+            .get_mut(&id.sensor)
+            .and_then(|m| m.get_mut(&id.seq))
+        {
+            Some(p) => {
+                p.unacked.remove(&from);
+                p.unacked.is_empty()
             }
+            None => false,
+        };
+        if done {
+            self.remove_pending(id);
         }
     }
 
@@ -122,49 +224,96 @@ impl RbcastState {
     /// beacon retires arbitrarily many per-event acks. Returns how many
     /// pending entries this ack retired for `from`.
     ///
+    /// The pending shard for each sensor is scanned only up to the
+    /// peer's watermark (`range(..=wm)`), so the cost is proportional
+    /// to the entries actually covered, not the whole backlog.
+    ///
     /// Retirement is by *highest received* seq, consistent with the
     /// Bayou-style sync the store already implements: anti-entropy
     /// never back-fills below a peer's watermark, so retransmitting
     /// below it could never terminate and acking it loses nothing.
     pub fn on_cumulative_ack(&mut self, from: ProcessId, received: &[(SensorId, u64)]) -> usize {
-        if self.pending.is_empty() || received.is_empty() {
+        if self.n_pending == 0 || received.is_empty() {
             return 0;
         }
         let mut retired = 0;
-        self.pending.retain(|id, p| {
-            let covered = received
-                .iter()
-                .any(|(sensor, wm)| *sensor == id.sensor && id.seq <= *wm);
-            if covered && p.unacked.remove(&from) {
-                retired += 1;
+        for (sensor, wm) in received {
+            let Some(per) = self.pending.get_mut(sensor) else {
+                continue;
+            };
+            let mut done: Vec<u64> = Vec::new();
+            for (seq, p) in per.range_mut(..=*wm) {
+                if p.unacked.remove(&from) {
+                    retired += 1;
+                }
+                if p.unacked.is_empty() {
+                    done.push(*seq);
+                }
             }
-            !p.unacked.is_empty()
-        });
+            for seq in done {
+                per.remove(&seq);
+                self.n_pending -= 1;
+            }
+            if per.is_empty() {
+                self.pending.remove(sensor);
+            }
+        }
         retired
     }
 
-    /// Periodic retransmission tick: re-send pending broadcasts to
-    /// still-unacked peers that remain in the view; peers that left the
-    /// view are written off (they will recover via anti-entropy). Each
-    /// pending event becomes one fan-out action to its unacked peers.
-    pub fn on_tick(&mut self, view: &[ProcessId]) -> Vec<Action> {
+    /// Periodic retransmission tick: re-send pending broadcasts that
+    /// have passed their age guard to still-unacked peers that remain
+    /// in the view; peers that left the view are written off (they will
+    /// recover via anti-entropy). Each due event becomes one fan-out
+    /// action to its unacked peers; entries still inside their guard
+    /// are left untouched so cumulative keep-alive retirement can beat
+    /// the retransmission.
+    pub fn on_tick(&mut self, view: &[ProcessId], now: Time) -> Vec<Action> {
         let mut actions = Vec::new();
         let me = self.me;
-        self.pending.retain(|_, p| {
-            p.unacked.retain(|peer| view.contains(peer));
-            if p.unacked.is_empty() {
-                return false;
-            }
-            actions.push(Action::Fanout {
-                to: p.unacked.iter().copied().collect(),
-                msg: ProcMsg::Broadcast {
-                    event: p.event.clone(),
-                    origin: me,
-                },
+        let retransmit_after = self.retransmit_after;
+        let mut dropped = 0usize;
+        for per in self.pending.values_mut() {
+            per.retain(|_, p| {
+                p.unacked.retain(|peer| view.contains(peer));
+                if p.unacked.is_empty() {
+                    dropped += 1;
+                    return false;
+                }
+                if now >= p.retransmit_at {
+                    p.retransmit_at = now + retransmit_after;
+                    actions.push(Action::Fanout {
+                        to: p.unacked.iter().copied().collect(),
+                        msg: ProcMsg::Broadcast {
+                            event: p.event.clone(),
+                            origin: me,
+                        },
+                    });
+                }
+                true
             });
-            true
-        });
+        }
+        self.pending.retain(|_, per| !per.is_empty());
+        self.n_pending -= dropped;
         actions
+    }
+
+    /// Forgets relay records for `sensor` at or below `upto`. Called
+    /// alongside store watermark GC: events processed home-wide are
+    /// never re-flooded, so their relay markers are dead weight.
+    pub fn prune_relayed(&mut self, sensor: SensorId, upto: u64) {
+        if let Some(set) = self.relayed.get_mut(&sensor) {
+            *set = set.split_off(&(upto.saturating_add(1)));
+            if set.is_empty() {
+                self.relayed.remove(&sensor);
+            }
+        }
+    }
+
+    /// Number of relay markers currently retained (GC observability).
+    #[must_use]
+    pub fn relayed_count(&self) -> usize {
+        self.relayed.values().map(BTreeSet::len).sum()
     }
 }
 
@@ -176,6 +325,14 @@ mod tests {
     fn ev(seq: u64) -> Event {
         Event::new(
             EventId::new(SensorId(1), seq),
+            EventKind::DoorOpen,
+            Time::from_millis(seq),
+        )
+    }
+
+    fn ev_on(sensor: u32, seq: u64) -> Event {
+        Event::new(
+            EventId::new(SensorId(sensor), seq),
             EventKind::DoorOpen,
             Time::from_millis(seq),
         )
@@ -205,7 +362,7 @@ mod tests {
     #[test]
     fn start_floods_view_except_self() {
         let mut b = RbcastState::new(ProcessId(0));
-        let actions = b.start(ev(0), &pids(&[0, 1, 2]));
+        let actions = b.start(ev(0), &pids(&[0, 1, 2]), Time::ZERO);
         assert_eq!(send_targets(&actions), pids(&[1, 2]));
         assert_eq!(b.pending_count(), 1);
     }
@@ -213,7 +370,7 @@ mod tests {
     #[test]
     fn acks_retire_pending() {
         let mut b = RbcastState::new(ProcessId(0));
-        let _ = b.start(ev(0), &pids(&[0, 1, 2]));
+        let _ = b.start(ev(0), &pids(&[0, 1, 2]), Time::ZERO);
         b.on_ack(ev(0).id, ProcessId(1));
         assert_eq!(b.pending_count(), 1);
         b.on_ack(ev(0).id, ProcessId(2));
@@ -225,22 +382,22 @@ mod tests {
     #[test]
     fn tick_retransmits_only_unacked_live_peers() {
         let mut b = RbcastState::new(ProcessId(0));
-        let _ = b.start(ev(0), &pids(&[0, 1, 2, 3]));
+        let _ = b.start(ev(0), &pids(&[0, 1, 2, 3]), Time::ZERO);
         b.on_ack(ev(0).id, ProcessId(1));
         // p3 left the view: written off.
-        let actions = b.on_tick(&pids(&[0, 1, 2]));
+        let actions = b.on_tick(&pids(&[0, 1, 2]), Time::ZERO);
         assert_eq!(send_targets(&actions), pids(&[2]));
         // Everyone relevant acked or gone → pending clears.
         b.on_ack(ev(0).id, ProcessId(2));
         assert_eq!(b.pending_count(), 0);
-        assert!(b.on_tick(&pids(&[0, 1, 2])).is_empty());
+        assert!(b.on_tick(&pids(&[0, 1, 2]), Time::ZERO).is_empty());
     }
 
     #[test]
     fn all_peers_departed_clears_pending() {
         let mut b = RbcastState::new(ProcessId(0));
-        let _ = b.start(ev(0), &pids(&[0, 1]));
-        let actions = b.on_tick(&pids(&[0]));
+        let _ = b.start(ev(0), &pids(&[0, 1]), Time::ZERO);
+        let actions = b.on_tick(&pids(&[0]), Time::ZERO);
         assert!(actions.is_empty());
         assert_eq!(b.pending_count(), 0);
     }
@@ -249,7 +406,7 @@ mod tests {
     fn receiver_acks_and_relays_new_events_once() {
         let mut b = RbcastState::new(ProcessId(1));
         let view = pids(&[0, 1, 2]);
-        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, true);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, true, Time::ZERO);
         // First action: ack to origin.
         assert!(matches!(
             actions[0],
@@ -261,7 +418,7 @@ mod tests {
         // Relay flood to peers.
         assert_eq!(send_targets(&actions), pids(&[0, 2]));
         // Second receipt: ack only, no re-relay.
-        let again = b.on_broadcast(&ev(0), ProcessId(2), false, &view, true);
+        let again = b.on_broadcast(&ev(0), ProcessId(2), false, &view, true, Time::ZERO);
         assert_eq!(again.len(), 1);
         assert!(matches!(
             again[0],
@@ -276,15 +433,27 @@ mod tests {
     fn known_event_not_relayed() {
         let mut b = RbcastState::new(ProcessId(1));
         let view = pids(&[0, 1, 2]);
-        let actions = b.on_broadcast(&ev(0), ProcessId(0), false, &view, true);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), false, &view, true, Time::ZERO);
         assert_eq!(actions.len(), 1, "ack only for already-known events");
+    }
+
+    #[test]
+    fn empty_view_suppresses_relay() {
+        // The eager-broadcast baseline: receivers acknowledge but never
+        // re-flood (the origin is the only flooder).
+        let mut b = RbcastState::new(ProcessId(1));
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &[], true, Time::ZERO);
+        assert_eq!(actions.len(), 1, "ack only");
+        assert_eq!(b.pending_count(), 0, "nothing pending without a view");
+        let silent = b.on_broadcast(&ev(1), ProcessId(0), true, &[], false, Time::ZERO);
+        assert!(silent.is_empty(), "cumulative mode: beacon acks later");
     }
 
     #[test]
     fn cumulative_mode_skips_eager_ack_but_still_relays() {
         let mut b = RbcastState::new(ProcessId(1));
         let view = pids(&[0, 1, 2]);
-        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, false);
+        let actions = b.on_broadcast(&ev(0), ProcessId(0), true, &view, false, Time::ZERO);
         assert!(
             !actions.iter().any(|a| matches!(
                 a,
@@ -303,7 +472,7 @@ mod tests {
         let mut b = RbcastState::new(ProcessId(0));
         let view = pids(&[0, 1, 2]);
         for seq in 0..4 {
-            let _ = b.start(ev(seq), &view);
+            let _ = b.start(ev(seq), &view, Time::ZERO);
         }
         assert_eq!(b.pending_count(), 4);
         // Peer 1's beacon covers seqs 0..=2 in one message.
@@ -320,12 +489,25 @@ mod tests {
     }
 
     #[test]
+    fn cumulative_ack_spans_sensors() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let view = pids(&[0, 1]);
+        let _ = b.start(ev_on(1, 0), &view, Time::ZERO);
+        let _ = b.start(ev_on(2, 5), &view, Time::ZERO);
+        let _ = b.start(ev_on(3, 9), &view, Time::ZERO);
+        // One beacon covering two of the three sensors.
+        let retired = b.on_cumulative_ack(ProcessId(1), &[(SensorId(1), 10), (SensorId(3), 9)]);
+        assert_eq!(retired, 2);
+        assert_eq!(b.pending_count(), 1, "sensor 2 entry remains");
+    }
+
+    #[test]
     fn retransmissions_are_ordered_fanouts() {
         let mut b = RbcastState::new(ProcessId(0));
         let view = pids(&[0, 1, 2]);
-        let _ = b.start(ev(1), &view);
-        let _ = b.start(ev(0), &view);
-        let actions = b.on_tick(&view);
+        let _ = b.start(ev(1), &view, Time::ZERO);
+        let _ = b.start(ev(0), &view, Time::ZERO);
+        let actions = b.on_tick(&view, Time::ZERO);
         // One fan-out per pending event, in EventId order.
         let seqs: Vec<u64> = actions
             .iter()
@@ -341,9 +523,76 @@ mod tests {
     }
 
     #[test]
+    fn age_guard_delays_retransmission() {
+        let mut b = RbcastState::new(ProcessId(0))
+            .with_timing(Duration::from_millis(500), Duration::from_secs(2));
+        let view = pids(&[0, 1]);
+        let _ = b.start(ev(0), &view, Time::ZERO);
+        assert!(
+            b.on_tick(&view, Time::from_millis(499)).is_empty(),
+            "inside the guard: no retransmission"
+        );
+        let due = b.on_tick(&view, Time::from_millis(500));
+        assert_eq!(send_targets(&due), pids(&[1]));
+        // The guard re-arms from the retransmission instant.
+        assert!(b.on_tick(&view, Time::from_millis(999)).is_empty());
+        assert!(!b.on_tick(&view, Time::from_millis(1_000)).is_empty());
+    }
+
+    #[test]
+    fn tracked_events_retire_by_watermark_or_escalate() {
+        let mut b = RbcastState::new(ProcessId(0))
+            .with_timing(Duration::from_millis(500), Duration::from_secs(2));
+        let view = pids(&[0, 1, 2]);
+        b.track(ev(0), &view, Time::ZERO);
+        b.track(ev(1), &view, Time::ZERO);
+        assert_eq!(b.pending_count(), 2);
+        // No flood was sent and none is due inside the grace period.
+        assert!(b.on_tick(&view, Time::from_secs(1)).is_empty());
+        // Keep-alive watermarks retire without any broadcast traffic.
+        assert_eq!(b.on_cumulative_ack(ProcessId(1), &[(SensorId(1), 1)]), 2);
+        assert_eq!(b.on_cumulative_ack(ProcessId(2), &[(SensorId(1), 0)]), 1);
+        assert_eq!(b.pending_count(), 1, "seq 1 still awaits peer 2");
+        // Past the grace period the survivor escalates to a flood
+        // addressed to the lagging peer only.
+        let due = b.on_tick(&view, Time::from_secs(2));
+        assert_eq!(send_targets(&due), pids(&[2]));
+    }
+
+    #[test]
+    fn track_is_idempotent_and_respects_existing_floods() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let view = pids(&[0, 1]);
+        let _ = b.start(ev(0), &view, Time::ZERO);
+        b.track(ev(0), &view, Time::ZERO);
+        assert_eq!(b.pending_count(), 1, "flood entry not duplicated");
+        b.track(ev(1), &view, Time::ZERO);
+        b.track(ev(1), &view, Time::ZERO);
+        assert_eq!(b.pending_count(), 2);
+        b.track(ev(2), &pids(&[0]), Time::ZERO);
+        assert_eq!(b.pending_count(), 2, "no peers, nothing to track");
+    }
+
+    #[test]
+    fn prune_relayed_forgets_old_markers() {
+        let mut b = RbcastState::new(ProcessId(0));
+        let view = pids(&[0, 1]);
+        for seq in 0..4 {
+            let _ = b.start(ev(seq), &view, Time::ZERO);
+        }
+        assert_eq!(b.relayed_count(), 4);
+        b.prune_relayed(SensorId(1), 2);
+        assert_eq!(b.relayed_count(), 1);
+        b.prune_relayed(SensorId(1), u64::MAX);
+        assert_eq!(b.relayed_count(), 0);
+        // Unknown sensors are a no-op.
+        b.prune_relayed(SensorId(9), 10);
+    }
+
+    #[test]
     fn singleton_start_is_noop() {
         let mut b = RbcastState::new(ProcessId(0));
-        assert!(b.start(ev(0), &pids(&[0])).is_empty());
+        assert!(b.start(ev(0), &pids(&[0]), Time::ZERO).is_empty());
         assert_eq!(b.pending_count(), 0);
     }
 }

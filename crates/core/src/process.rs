@@ -193,6 +193,12 @@ fn same_parts(a: &[Bytes], b: &[Bytes]) -> bool {
 struct Outbox {
     /// `(destination, pre-encoded message)` in queue order.
     queue: Vec<(ProcessId, Bytes)>,
+    /// Scratch for per-destination grouping, reused across activations
+    /// so steady-state flushing allocates nothing.
+    groups: Vec<(ProcessId, Vec<Bytes>)>,
+    /// Emptied part lists returned from previous flushes, recycled as
+    /// the next activation's group storage.
+    spare_parts: Vec<Vec<Bytes>>,
     pool: WriterPool,
     stats: Arc<FanoutStats>,
 }
@@ -352,9 +358,10 @@ impl RivuletProcess {
         // them) and the newest checkpoint seeds the processed
         // watermarks, so a later promotion replays only the suffix
         // beyond the checkpoint.
-        let mut gapless = GaplessState::new(
+        let mut gapless = GaplessState::new_sharded(
             me,
             self.spec.config.store_cap_per_sensor,
+            self.spec.config.store_shards,
             self.spec.config.anti_entropy,
         );
         let mut processed: HashMap<SensorId, u64> = HashMap::new();
@@ -387,7 +394,14 @@ impl RivuletProcess {
         self.st = Some(Initialized {
             membership,
             gapless,
-            rbcast: RbcastState::new(me),
+            // Floods retransmit at the keep-alive-scale interval;
+            // tracked ring-origin entries get the failure timeout as
+            // grace, so healthy runs always retire them via beacon
+            // watermarks before any fallback flood fires.
+            rbcast: RbcastState::new(me).with_timing(
+                self.spec.config.rbcast_retransmit,
+                self.spec.config.failure_timeout,
+            ),
             apps,
             sensors,
             actuators,
@@ -401,10 +415,16 @@ impl RivuletProcess {
             gated: Vec::new(),
             outbox: Outbox {
                 queue: Vec::new(),
+                groups: Vec::new(),
+                spare_parts: Vec::new(),
                 pool: WriterPool::new(),
                 stats: Arc::clone(&self.spec.fanout),
             },
         });
+
+        self.spec
+            .obs
+            .observe("store.shard.count", self.spec.config.store_shards as u64);
 
         // Arm the durability timers: the group-commit flush interval
         // (when the policy is time-based) and the checkpoint cadence.
@@ -480,12 +500,14 @@ impl RivuletProcess {
                     actions.push(action);
                 }
             }
-            // Reliable-broadcast retransmission.
+            // Reliable-broadcast retransmission (age-guarded: entries
+            // whose cumulative-ack window is still open are skipped).
             let view = st.membership.view(now);
-            actions.extend(st.rbcast.on_tick(&view));
+            actions.extend(st.rbcast.on_tick(&view, now));
             // Watermark garbage collection: events processed home-wide
             // and older than the straggler horizon will never be
-            // replayed or synced again.
+            // replayed or synced again. Relay markers below the same
+            // watermark can never be re-flooded, so they go with them.
             if self.spec.config.store_gc {
                 let horizon = now.duration_since(Time::ZERO);
                 let cutoff = if horizon > GC_STRAGGLER_HORIZON {
@@ -497,6 +519,7 @@ impl RivuletProcess {
                     st.processed.iter().map(|(s, q)| (*s, *q)).collect();
                 for (sensor, upto) in marks {
                     let _ = st.gapless.store_mut().prune_processed(sensor, upto, cutoff);
+                    st.rbcast.prune_relayed(sensor, upto);
                 }
             }
             if let Some(probe) = &self.spec.store_probe {
@@ -505,6 +528,13 @@ impl RivuletProcess {
             self.spec
                 .obs
                 .observe("store.len", st.gapless.store().len() as u64);
+            self.spec.obs.observe(
+                "store.shard.max_len",
+                st.gapless.store().max_shard_len() as u64,
+            );
+            self.spec
+                .obs
+                .observe("rbcast.pending", st.rbcast.pending_count() as u64);
         }
         self.apply_actions(ctx, actions);
         // Group-commit backstop: a partial EveryN batch (or an idle
@@ -749,6 +779,7 @@ impl RivuletProcess {
         if actions.is_empty() {
             return;
         }
+        let max_gated = self.spec.config.wal_max_gated;
         let ready = {
             let st = self.st.as_mut().expect("initialized");
             match st.wal.as_mut() {
@@ -761,6 +792,12 @@ impl RivuletProcess {
                     }
                     st.gated.extend(actions);
                     if wal.pending_events() == 0 {
+                        Some(std::mem::take(&mut st.gated))
+                    } else if st.gated.len() >= max_gated {
+                        // Back-pressure: a broadcast storm outran the
+                        // flush policy. Force the group commit now so
+                        // gated actions (and their memory) stay bounded.
+                        wal.flush().expect("wal flush");
                         Some(std::mem::take(&mut st.gated))
                     } else {
                         None
@@ -890,13 +927,26 @@ impl RivuletProcess {
     fn flush_outbox(&mut self, ctx: &mut Context<'_>) {
         let coalesce = self.spec.config.coalescing;
         let Some(st) = self.st.as_mut() else { return };
-        if st.outbox.queue.is_empty() {
+        let Initialized {
+            outbox,
+            peer_actors,
+            ..
+        } = st;
+        if outbox.queue.is_empty() {
             return;
         }
-        let queue = std::mem::take(&mut st.outbox.queue);
+        // Fast path: the common activation queues a single message
+        // (one ring forward, one ack, one poll) — nothing to group.
+        if outbox.queue.len() == 1 {
+            let (to, payload) = outbox.queue.pop().expect("one entry");
+            if let Some(actor) = peer_actors.get(&to).copied() {
+                ctx.send(actor, payload);
+            }
+            return;
+        }
         if !coalesce {
-            for (to, payload) in queue {
-                if let Some(actor) = st.peer_actors.get(&to).copied() {
+            for (to, payload) in outbox.queue.drain(..) {
+                if let Some(actor) = peer_actors.get(&to).copied() {
                     ctx.send(actor, payload);
                 }
             }
@@ -904,43 +954,57 @@ impl RivuletProcess {
         }
         // Group by destination in first-appearance order. Destinations
         // are few (home-scale peer counts), so a linear scan beats a
-        // map here and preserves order for free.
-        let mut groups: Vec<(ProcessId, Vec<Bytes>)> = Vec::new();
-        for (to, payload) in queue {
-            match groups.iter_mut().find(|(p, _)| *p == to) {
+        // map here and preserves order for free. Group storage is
+        // recycled scratch: drained queue, reused group vector, and
+        // part lists returned by earlier flushes.
+        for (to, payload) in outbox.queue.drain(..) {
+            match outbox.groups.iter_mut().find(|(p, _)| *p == to) {
                 Some((_, parts)) => parts.push(payload),
-                None => groups.push((to, vec![payload])),
+                None => {
+                    let mut parts = outbox.spare_parts.pop().unwrap_or_default();
+                    parts.push(payload);
+                    outbox.groups.push((to, parts));
+                }
             }
         }
         // Floods queue the *same* parts (cheap clones of one encoding)
         // for every destination, so the assembled frame can itself be
         // encoded once and cheap-cloned: identity of the backing
-        // buffers proves the byte content is identical.
-        let mut last_frame: Option<(Vec<Bytes>, Bytes)> = None;
-        for (to, parts) in groups {
-            let Some(actor) = st.peer_actors.get(&to).copied() else {
+        // buffers proves the byte content is identical. `last_multi`
+        // remembers the previous multi-part group (still alive in the
+        // scratch) and its assembled frame.
+        let mut last_multi: Option<(usize, Bytes)> = None;
+        for i in 0..outbox.groups.len() {
+            let to = outbox.groups[i].0;
+            let Some(actor) = peer_actors.get(&to).copied() else {
                 continue;
             };
-            if parts.len() == 1 {
-                let payload = parts.into_iter().next().expect("one part");
+            if outbox.groups[i].1.len() == 1 {
+                let payload = outbox.groups[i].1.pop().expect("one part");
                 ctx.send(actor, payload);
                 continue;
             }
-            st.outbox.stats.record_frame(parts.len());
-            let framed = match &last_frame {
-                Some((prev_parts, frame)) if same_parts(prev_parts, &parts) => {
-                    st.outbox.stats.record_encode_reuse(frame.len() as u64);
+            outbox.stats.record_frame(outbox.groups[i].1.len());
+            let framed = match &last_multi {
+                Some((prev, frame)) if same_parts(&outbox.groups[*prev].1, &outbox.groups[i].1) => {
+                    outbox.stats.record_encode_reuse(frame.len() as u64);
                     frame.clone()
                 }
                 _ => {
-                    let mut w = st.outbox.pool.checkout();
-                    let framed = Frame::encode_parts(&mut w, &parts);
-                    st.outbox.pool.put_back(w);
-                    last_frame = Some((parts, framed.clone()));
+                    let mut w = outbox.pool.checkout();
+                    let framed = Frame::encode_parts(&mut w, &outbox.groups[i].1);
+                    outbox.pool.put_back(w);
+                    last_multi = Some((i, framed.clone()));
                     framed
                 }
             };
             ctx.send(actor, framed);
+        }
+        // Recycle the scratch: drop the queued `Bytes` clones but keep
+        // every vector's capacity for the next activation.
+        for (_, mut parts) in outbox.groups.drain(..) {
+            parts.clear();
+            outbox.spare_parts.push(parts);
         }
     }
 
@@ -1032,26 +1096,25 @@ impl RivuletProcess {
                 if self.spec.config.forwarding == crate::config::ForwardingMode::EagerBroadcast =>
             {
                 // Fig. 5 baseline: flood to all peers unless the event
-                // already arrived from another process.
-                let (deliver, peers) = {
+                // already arrived from another process. The flood goes
+                // through the rbcast state machine so the origin tracks
+                // which peers still owe an acknowledgement — per-event
+                // `BroadcastAck`s or (default) the cumulative received
+                // watermarks on their keep-alive beacons.
+                let (deliver, flood) = {
                     let st = self.st.as_mut().expect("initialized");
                     let deliver = st.gapless.on_broadcast_copy(event.clone());
-                    let peers: Vec<ProcessId> = st
-                        .membership
-                        .view(now)
-                        .into_iter()
-                        .filter(|p| *p != me)
-                        .collect();
-                    (deliver, peers)
+                    let flood = if deliver.is_some() {
+                        let view = st.membership.view(now);
+                        st.rbcast.start(event, &view, now)
+                    } else {
+                        Vec::new()
+                    };
+                    (deliver, flood)
                 };
                 if let Some(action) = deliver {
                     let mut actions = vec![action];
-                    if !peers.is_empty() {
-                        actions.push(Action::Fanout {
-                            to: peers,
-                            msg: ProcMsg::Broadcast { event, origin: me },
-                        });
-                    }
+                    actions.extend(flood);
                     self.apply_actions_durably(ctx, actions);
                 }
             }
@@ -1060,7 +1123,19 @@ impl RivuletProcess {
                     let st = self.st.as_mut().expect("initialized");
                     let view = st.membership.view(now);
                     let successor = st.membership.ring_successor(now);
+                    let tracked = event.clone();
                     let outcome = st.gapless.on_local_ingest(event, &view, successor);
+                    if !outcome.actions.is_empty() {
+                        // Fresh ingest: register replication tracking.
+                        // The ring carries the event (no extra traffic);
+                        // peers retire the entry via their keep-alive
+                        // received watermarks, and an entry that
+                        // outlives the failure timeout escalates to a
+                        // flood — closing the silent-stall window where
+                        // a ring message dies with a crashed hop and no
+                        // survivor ever observes the stall condition.
+                        st.rbcast.track(tracked, &view, now);
+                    }
                     (outcome.actions, outcome.start_broadcast)
                 };
                 self.apply_actions_durably(ctx, actions);
@@ -1104,9 +1179,10 @@ impl RivuletProcess {
 
     fn start_broadcast(&mut self, ctx: &mut Context<'_>, event: Event) {
         let actions = {
+            let now = ctx.now();
             let st = self.st.as_mut().expect("initialized");
-            let view = st.membership.view(ctx.now());
-            st.rbcast.start(event, &view)
+            let view = st.membership.view(now);
+            st.rbcast.start(event, &view, now)
         };
         // Broadcasting advertises possession: gate it like any other
         // delivery action (the event itself was appended when it was
@@ -1139,15 +1215,21 @@ impl RivuletProcess {
                 processed,
                 received,
             } => {
+                let cumulative = self.spec.config.ack_mode == AckMode::Cumulative;
                 let st = self.st.as_mut().expect("initialized");
                 for (sensor, seq) in processed {
                     let mark = st.processed.entry(sensor).or_insert(0);
                     *mark = (*mark).max(seq);
                 }
                 // The peer's durable-receipt watermarks acknowledge
-                // every covered pending broadcast in one beacon.
+                // every covered pending broadcast in one beacon. Each
+                // retirement in cumulative mode is one per-event ack
+                // message that never had to cross the wire.
                 if !received.is_empty() {
-                    let _ = st.rbcast.on_cumulative_ack(from, &received);
+                    let retired = st.rbcast.on_cumulative_ack(from, &received);
+                    if retired > 0 && cumulative {
+                        st.outbox.stats.record_acks_avoided(retired as u64);
+                    }
                 }
             }
             ProcMsg::Ring { event, seen, need } => {
@@ -1176,20 +1258,26 @@ impl RivuletProcess {
                 let (deliver, acks) = {
                     let st = self.st.as_mut().expect("initialized");
                     let deliver = st.gapless.on_broadcast_copy(event.clone());
-                    // The eager baseline floods once with no
-                    // acknowledgement machinery; the ring's fallback
-                    // relays, and acks either per event or (default)
-                    // cumulatively via the keep-alive watermarks.
-                    let acks = if eager {
+                    // Receivers acknowledge every broadcast copy: per
+                    // event (an immediate `BroadcastAck`) or, by
+                    // default, cumulatively via the received watermark
+                    // on their next keep-alive beacon. In the eager
+                    // baseline only the origin floods, so the relay
+                    // view is empty; the ring's stall fallback relays
+                    // through the full view to survive origin crashes.
+                    let view = if eager {
                         Vec::new()
                     } else {
-                        if !eager_ack {
-                            st.outbox.stats.record_ack_avoided();
-                        }
-                        let view = st.membership.view(now);
-                        st.rbcast
-                            .on_broadcast(&event, origin, deliver.is_some(), &view, eager_ack)
+                        st.membership.view(now)
                     };
+                    let acks = st.rbcast.on_broadcast(
+                        &event,
+                        origin,
+                        deliver.is_some(),
+                        &view,
+                        eager_ack,
+                        now,
+                    );
                     (deliver, acks)
                 };
                 // Deliver first, then ack — and neither before the

@@ -5,47 +5,104 @@
 //! deduplicates (the ring revisits processes), answers the Bayou-style
 //! watermark queries used by successor synchronization, and computes
 //! the difference set to ship to a lagging successor.
+//!
+//! The store is sharded by sensor ([`EventStore::with_shards`]): each
+//! sensor hashes to one shard's `BTreeMap`, so the insert/seen/prune
+//! operations on the delivery hot path walk a tree holding only
+//! `sensors / shards` keys instead of one global map. Cross-sensor
+//! queries (watermarks, diffs) merge the shards back into sensor order,
+//! keeping the wire encoding deterministic regardless of shard count.
 
 use std::collections::{BTreeMap, HashMap};
 
 use rivulet_types::{Event, EventId, SensorId, Time};
 
-/// A bounded, per-sensor-ordered store of replicated events.
+type SensorShard = BTreeMap<SensorId, BTreeMap<u64, Event>>;
+
+/// A bounded, per-sensor-ordered store of replicated events, sharded by
+/// sensor.
 ///
-/// Sensors live in a `BTreeMap` so that every sync-path query
-/// ([`EventStore::watermarks`], [`EventStore::diff_for`]) iterates in
-/// sensor order directly instead of collecting and re-sorting the key
-/// set on each call.
-#[derive(Debug, Default)]
+/// Within a shard, sensors live in a `BTreeMap` so per-shard iteration
+/// is sensor-ordered for free; cross-shard queries merge the (already
+/// sorted) shard iterators so callers always observe ascending sensor
+/// order, exactly as the pre-sharding flat layout did.
+#[derive(Debug)]
 pub struct EventStore {
-    by_sensor: BTreeMap<SensorId, BTreeMap<u64, Event>>,
+    shards: Vec<SensorShard>,
     cap_per_sensor: usize,
     inserted: u64,
     evicted: u64,
 }
 
 impl EventStore {
-    /// Creates a store retaining at most `cap_per_sensor` events per
-    /// sensor (oldest evicted first).
+    /// Creates a single-shard store retaining at most `cap_per_sensor`
+    /// events per sensor (oldest evicted first). Equivalent to the
+    /// original flat layout; production processes use
+    /// [`EventStore::with_shards`].
     ///
     /// # Panics
     ///
     /// Panics if `cap_per_sensor` is zero.
     #[must_use]
     pub fn new(cap_per_sensor: usize) -> Self {
+        Self::with_shards(cap_per_sensor, 1)
+    }
+
+    /// Creates a store with `shards` sensor shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_per_sensor` or `shards` is zero.
+    #[must_use]
+    pub fn with_shards(cap_per_sensor: usize, shards: usize) -> Self {
         assert!(cap_per_sensor > 0, "store capacity must be positive");
+        assert!(shards > 0, "store shard count must be positive");
         Self {
-            by_sensor: BTreeMap::new(),
+            shards: (0..shards).map(|_| SensorShard::new()).collect(),
             cap_per_sensor,
             inserted: 0,
             evicted: 0,
         }
     }
 
+    #[inline]
+    fn shard_index(&self, sensor: SensorId) -> usize {
+        sensor.as_u32() as usize % self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, sensor: SensorId) -> &SensorShard {
+        &self.shards[self.shard_index(sensor)]
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, sensor: SensorId) -> &mut SensorShard {
+        let i = self.shard_index(sensor);
+        &mut self.shards[i]
+    }
+
+    /// Sensor maps across all shards, ascending by sensor. With one
+    /// shard this is the shard's own iterator; with more, a k-way merge
+    /// over the per-shard (already sorted) iterators.
+    fn iter_sensors(&self) -> impl Iterator<Item = (&SensorId, &BTreeMap<u64, Event>)> {
+        let mut cursors: Vec<_> = self.shards.iter().map(|s| s.iter().peekable()).collect();
+        std::iter::from_fn(move || {
+            let mut best: Option<(usize, SensorId)> = None;
+            for (i, c) in cursors.iter_mut().enumerate() {
+                if let Some((sensor, _)) = c.peek() {
+                    if best.is_none_or(|(_, k)| **sensor < k) {
+                        best = Some((i, **sensor));
+                    }
+                }
+            }
+            best.and_then(|(i, _)| cursors[i].next())
+        })
+    }
+
     /// Whether the event identified by `id` has been stored before.
     #[must_use]
     pub fn seen(&self, id: EventId) -> bool {
-        self.by_sensor
+        self.shard(id.sensor)
             .get(&id.sensor)
             .is_some_and(|m| m.contains_key(&id.seq))
     }
@@ -53,17 +110,25 @@ impl EventStore {
     /// Inserts `event`; returns `true` if it was new, `false` if it was
     /// a duplicate (in which case the store is unchanged).
     pub fn insert(&mut self, event: Event) -> bool {
-        let per = self.by_sensor.entry(event.id.sensor).or_default();
-        if per.contains_key(&event.id.seq) {
-            return false;
+        let cap = self.cap_per_sensor;
+        let mut evicted = 0u64;
+        {
+            let per = self
+                .shard_mut(event.id.sensor)
+                .entry(event.id.sensor)
+                .or_default();
+            if per.contains_key(&event.id.seq) {
+                return false;
+            }
+            per.insert(event.id.seq, event);
+            while per.len() > cap {
+                let oldest = *per.keys().next().expect("non-empty");
+                per.remove(&oldest);
+                evicted += 1;
+            }
         }
-        per.insert(event.id.seq, event);
         self.inserted += 1;
-        while per.len() > self.cap_per_sensor {
-            let oldest = *per.keys().next().expect("non-empty");
-            per.remove(&oldest);
-            self.evicted += 1;
-        }
+        self.evicted += evicted;
         true
     }
 
@@ -71,14 +136,14 @@ impl EventStore {
     /// Bayou-style watermark exchanged during successor sync.
     #[must_use]
     pub fn watermark(&self, sensor: SensorId) -> Option<u64> {
-        self.by_sensor
+        self.shard(sensor)
             .get(&sensor)
             .and_then(|m| m.keys().next_back().copied())
     }
 
-    /// All `(sensor, watermark)` pairs, ascending by sensor — the map
-    /// already iterates in sensor order, so the wire encoding is
-    /// deterministic without a sort.
+    /// All `(sensor, watermark)` pairs, ascending by sensor — the shard
+    /// merge yields sensor order directly, so the wire encoding is
+    /// deterministic without a separate sort.
     #[must_use]
     pub fn watermarks(&self) -> Vec<(SensorId, u64)> {
         self.iter_watermarks().collect()
@@ -87,8 +152,7 @@ impl EventStore {
     /// Iterates `(sensor, watermark)` pairs ascending by sensor without
     /// materializing a `Vec`.
     pub fn iter_watermarks(&self) -> impl Iterator<Item = (SensorId, u64)> + '_ {
-        self.by_sensor
-            .iter()
+        self.iter_sensors()
             .filter_map(|(s, m)| m.keys().next_back().map(|q| (*s, *q)))
     }
 
@@ -96,7 +160,7 @@ impl EventStore {
     /// `after` (or all if `after` is `None`), ascending.
     #[must_use]
     pub fn events_after(&self, sensor: SensorId, after: Option<u64>) -> Vec<Event> {
-        let Some(per) = self.by_sensor.get(&sensor) else {
+        let Some(per) = self.shard(sensor).get(&sensor) else {
             return Vec::new();
         };
         match after {
@@ -119,9 +183,9 @@ impl EventStore {
     pub fn diff_for(&self, peer_watermarks: &[(SensorId, u64)]) -> Vec<Event> {
         let peer: HashMap<SensorId, u64> = peer_watermarks.iter().copied().collect();
         let mut out = Vec::new();
-        // Sensor iteration is already ordered; per-sensor ranges stream
-        // straight into the output with no intermediate Vec per sensor.
-        for (sensor, per) in &self.by_sensor {
+        // The shard merge is already sensor-ordered; per-sensor ranges
+        // stream straight into the output with no intermediate Vec.
+        for (sensor, per) in self.iter_sensors() {
             match peer.get(sensor) {
                 None => out.extend(per.values().cloned()),
                 Some(&wm) => out.extend(per.range(wm.saturating_add(1)..).map(|(_, e)| e.clone())),
@@ -141,7 +205,7 @@ impl EventStore {
     /// weight. Production GC uses [`EventStore::prune_processed`],
     /// which additionally age-guards against straggler duplicates.
     pub fn prune_through(&mut self, sensor: SensorId, upto: u64) -> usize {
-        let Some(per) = self.by_sensor.get_mut(&sensor) else {
+        let Some(per) = self.shard_mut(sensor).get_mut(&sensor) else {
             return 0;
         };
         let removed = if upto == u64::MAX {
@@ -167,7 +231,7 @@ impl EventStore {
     /// retransmission, or anti-entropy refill) still hits the store's
     /// duplicate check instead of being re-delivered to applications.
     pub fn prune_processed(&mut self, sensor: SensorId, upto: u64, emitted_before: Time) -> usize {
-        let Some(per) = self.by_sensor.get_mut(&sensor) else {
+        let Some(per) = self.shard_mut(sensor).get_mut(&sensor) else {
             return 0;
         };
         let doomed: Vec<u64> = per
@@ -197,13 +261,40 @@ impl EventStore {
     /// Current number of retained events across all sensors.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.by_sensor.values().map(BTreeMap::len).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(BTreeMap::len)
+            .sum()
     }
 
     /// Whether the store holds no events.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of sensor shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Retained events in the fullest shard — the load-balance gauge
+    /// exported as `store.shard.max_len`.
+    #[must_use]
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.values().map(BTreeMap::len).sum())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for EventStore {
+    fn default() -> Self {
+        Self::new(1)
     }
 }
 
@@ -302,6 +393,43 @@ mod tests {
     }
 
     #[test]
+    fn sharded_store_matches_flat_semantics() {
+        // The same event stream through 1-shard and 8-shard stores must
+        // be observationally identical on every query path.
+        let mut flat = EventStore::new(10);
+        let mut sharded = EventStore::with_shards(10, 8);
+        assert_eq!(sharded.shard_count(), 8);
+        for sensor in [13u32, 2, 8, 21, 5, 16] {
+            for seq in [3u64, 0, 7] {
+                assert_eq!(
+                    flat.insert(ev(sensor, seq)),
+                    sharded.insert(ev(sensor, seq))
+                );
+            }
+        }
+        assert!(
+            !sharded.insert(ev(2, 0)),
+            "duplicate rejected across shards"
+        );
+        assert_eq!(flat.len(), sharded.len());
+        assert_eq!(flat.watermarks(), sharded.watermarks());
+        let peer = [(SensorId(2), 3), (SensorId(16), 0)];
+        let ids = |evs: Vec<Event>| -> Vec<(u32, u64)> {
+            evs.iter()
+                .map(|e| (e.id.sensor.as_u32(), e.id.seq))
+                .collect()
+        };
+        assert_eq!(ids(flat.diff_for(&peer)), ids(sharded.diff_for(&peer)));
+        assert_eq!(
+            flat.prune_through(SensorId(13), 3),
+            sharded.prune_through(SensorId(13), 3)
+        );
+        assert_eq!(flat.watermarks(), sharded.watermarks());
+        assert!(sharded.max_shard_len() <= sharded.len());
+        assert!(sharded.max_shard_len() >= sharded.len().div_ceil(8));
+    }
+
+    #[test]
     fn capacity_evicts_oldest() {
         let mut s = EventStore::new(3);
         for seq in 0..5 {
@@ -376,11 +504,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "store shard count must be positive")]
+    fn zero_shards_panics() {
+        let _ = EventStore::with_shards(10, 0);
+    }
+
+    #[test]
     fn empty_store_reports_empty() {
         let s = EventStore::new(1);
         assert!(s.is_empty());
         assert!(s.watermarks().is_empty());
         assert!(s.diff_for(&[]).is_empty());
+        assert_eq!(s.max_shard_len(), 0);
     }
 }
 
@@ -444,6 +579,27 @@ mod proptests {
             let ia: Vec<u64> = a.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
             let ib: Vec<u64> = b.events_after(SensorId(1), None).iter().map(|e| e.id.seq).collect();
             prop_assert_eq!(ia, ib);
+        }
+
+        /// A sharded store is observationally identical to the flat
+        /// (single-shard) layout for any insert sequence.
+        #[test]
+        fn sharding_is_transparent(
+            inserts in proptest::collection::vec((0u32..16, 0u64..60), 0..120),
+            shards in 1usize..9,
+        ) {
+            let mut flat = EventStore::new(50);
+            let mut sharded = EventStore::with_shards(50, shards);
+            for (s, q) in &inserts {
+                prop_assert_eq!(flat.insert(ev(*s, *q)), sharded.insert(ev(*s, *q)));
+            }
+            prop_assert_eq!(flat.len(), sharded.len());
+            prop_assert_eq!(flat.watermarks(), sharded.watermarks());
+            prop_assert_eq!(flat.inserted(), sharded.inserted());
+            let peer = [(SensorId(3), 20), (SensorId(11), 5)];
+            let fa: Vec<EventId> = flat.diff_for(&peer).iter().map(|e| e.id).collect();
+            let sa: Vec<EventId> = sharded.diff_for(&peer).iter().map(|e| e.id).collect();
+            prop_assert_eq!(fa, sa);
         }
     }
 }

@@ -14,9 +14,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use bytes::Bytes;
 use rand::Rng;
 use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
-use rivulet_types::wire::Wire;
+use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{Duration, Event, EventId, EventKind, Payload, SensorId, Time};
 
 use crate::frame::RadioFrame;
@@ -61,13 +62,32 @@ pub enum PayloadSpec {
 }
 
 impl PayloadSpec {
-    fn materialize(&mut self, now: Time, rng: &mut rand::rngs::StdRng) -> (EventKind, Payload) {
+    /// Builds the next event's payload. `blob_cache` holds one shared
+    /// zero-blob allocation: every `Blob` emission cheap-clones it
+    /// instead of allocating a fresh buffer per event, so a camera
+    /// streaming 1 KiB frames allocates its payload exactly once.
+    fn materialize(
+        &mut self,
+        now: Time,
+        rng: &mut rand::rngs::StdRng,
+        blob_cache: &mut Option<Bytes>,
+    ) -> (EventKind, Payload) {
         match self {
             PayloadSpec::KindOnly(kind) => (*kind, Payload::Empty),
             PayloadSpec::Scalar(model) => {
                 (EventKind::Reading, Payload::Scalar(model.sample(now, rng)))
             }
-            PayloadSpec::Blob { kind, len } => (*kind, Payload::zeros(*len)),
+            PayloadSpec::Blob { kind, len } => {
+                let blob = match blob_cache {
+                    Some(b) if b.len() == *len => b.clone(),
+                    _ => {
+                        let b = Bytes::from(vec![0u8; *len]);
+                        *blob_cache = Some(b.clone());
+                        b
+                    }
+                };
+                (*kind, Payload::Blob(blob))
+            }
         }
     }
 }
@@ -120,6 +140,11 @@ pub struct PushSensor {
     probe: Arc<EmissionProbe>,
     next_seq: u64,
     script_idx: usize,
+    /// Pooled encode buffers: each emission encodes into a recycled
+    /// writer instead of allocating a fresh one.
+    pool: WriterPool,
+    /// Shared zero-blob payload for `PayloadSpec::Blob` emissions.
+    blob_cache: Option<Bytes>,
 }
 
 impl PushSensor {
@@ -146,6 +171,8 @@ impl PushSensor {
             probe,
             next_seq: 0,
             script_idx: 0,
+            pool: WriterPool::new(),
+            blob_cache: None,
         }
     }
 
@@ -186,16 +213,14 @@ impl PushSensor {
         let id = EventId::new(self.sensor, self.next_seq);
         self.next_seq += 1;
         let now = ctx.now();
-        let (kind, payload) = {
-            let mut rng_payload = self.payload.clone();
-            // Split the borrow: sample with the ctx RNG, then store back.
-            let result = rng_payload.materialize(now, ctx.rng());
-            self.payload = rng_payload;
-            result
-        };
+        let (kind, payload) = self
+            .payload
+            .materialize(now, ctx.rng(), &mut self.blob_cache);
         let event = Event::with_payload(id, kind, payload, now);
         self.probe.record(now, id);
-        let frame = RadioFrame::Event(event).to_payload();
+        // Encode once into a pooled buffer; every target gets a cheap
+        // clone of the same frozen frame.
+        let frame = self.pool.encode(&RadioFrame::Event(event));
         for target in &self.targets {
             ctx.send(*target, frame.clone());
         }
@@ -272,6 +297,8 @@ pub struct PollSensor {
     /// `(requester, epoch)` of the in-flight poll, if any.
     busy_with: Option<(ActorId, u64)>,
     next_seq: u64,
+    /// Pooled encode buffers for poll answers.
+    pool: WriterPool,
 }
 
 impl PollSensor {
@@ -290,6 +317,7 @@ impl PollSensor {
             probe,
             busy_with: None,
             next_seq: 0,
+            pool: WriterPool::new(),
         }
     }
 
@@ -346,7 +374,8 @@ impl Actor for PollSensor {
                     Event::with_payload(id, EventKind::Reading, Payload::Scalar(value), now)
                         .in_epoch(epoch);
                 self.probe.answered.fetch_add(1, Ordering::SeqCst);
-                ctx.send(requester, RadioFrame::Event(event).to_payload());
+                let frame = self.pool.encode(&RadioFrame::Event(event));
+                ctx.send(requester, frame);
             }
             _ => {}
         }

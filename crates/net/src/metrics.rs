@@ -83,6 +83,12 @@ impl FanoutStats {
         self.acks_avoided.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` per-event acknowledgements retired at once by a
+    /// single cumulative keep-alive watermark.
+    pub fn record_acks_avoided(&self, n: u64) {
+        self.acks_avoided.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     #[must_use]
     pub fn snapshot(&self) -> FanoutSnapshot {
