@@ -23,6 +23,13 @@
 //!    cumulative acks (`acks_avoided > 0`) — this is exact, because a
 //!    zero means the wiring is dead, which is how the original
 //!    regression went unnoticed.
+//!
+//! `--fleet-fresh PATH` (with `--fleet-baseline PATH`) gates a fresh
+//! `BENCH_fleet.json` from the fleet orchestrator: any home failing
+//! delivery correctness is fatal (exact — `homes_failed` must be 0),
+//! and the aggregate fleet events/s must stay within `--tolerance` of
+//! the committed fleet baseline. `--fleet-only` runs just that gate,
+//! skipping the fan-out benchmarks.
 
 use rivulet_bench::fanout::{
     run_micro, run_sim_point, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
@@ -82,6 +89,60 @@ fn baseline_events_per_sec(json: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Extracts the first number after `"key":` inside the `"fleet"`
+/// object of a `BENCH_fleet.json` document — same parser-free idiom
+/// as [`baseline_events_per_sec`].
+fn fleet_number(json: &str, key: &str) -> Option<f64> {
+    let fleet = json.find("\"fleet\"")?;
+    let tail = &json[fleet..];
+    let quoted = format!("\"{key}\"");
+    let at = tail.find(&quoted)?;
+    let tail = &tail[at + quoted.len()..];
+    let colon = tail.find(':')?;
+    let tail = tail[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The fleet regression gate: delivery correctness is exact,
+/// throughput is tolerance-banded against the committed baseline.
+fn fleet_gate(fresh_path: &str, baseline_path: Option<&str>, tolerance: f64) {
+    let fresh = std::fs::read_to_string(fresh_path)
+        .unwrap_or_else(|e| panic!("read fleet results {fresh_path}: {e}"));
+    let homes =
+        fleet_number(&fresh, "homes").unwrap_or_else(|| panic!("no fleet.homes in {fresh_path}"));
+    let failed = fleet_number(&fresh, "homes_failed")
+        .unwrap_or_else(|| panic!("no fleet.homes_failed in {fresh_path}"));
+    let fresh_eps = fleet_number(&fresh, "events_per_sec")
+        .unwrap_or_else(|| panic!("no fleet.events_per_sec in {fresh_path}"));
+    println!("fleet gate: {homes:.0} homes, {failed:.0} failed, {fresh_eps:.0} events/s aggregate");
+    assert!(
+        failed == 0.0,
+        "{failed:.0} of {homes:.0} fleet homes failed delivery correctness \
+         (see {fresh_path}); any delivery failure is CI-fatal"
+    );
+    let Some(baseline_path) = baseline_path else {
+        println!("fleet gate: no --fleet-baseline given; correctness-only gate passed");
+        return;
+    };
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read fleet baseline {baseline_path}: {e}"));
+    let base_eps = fleet_number(&baseline, "events_per_sec")
+        .unwrap_or_else(|| panic!("no fleet.events_per_sec in {baseline_path}"));
+    let floor = base_eps * (1.0 - tolerance);
+    println!(
+        "fleet gate: fresh {fresh_eps:.0} events/s vs committed {base_eps:.0} \
+         (floor {floor:.0}, tolerance {tolerance:.2})"
+    );
+    assert!(
+        fresh_eps >= floor,
+        "fleet aggregate throughput regressed: {fresh_eps:.0} events/s < floor \
+         {floor:.0} ({base_eps:.0} - {tolerance:.2})"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -102,6 +163,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
+    let fleet_fresh = args
+        .iter()
+        .position(|a| a == "--fleet-fresh")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let fleet_baseline = args
+        .iter()
+        .position(|a| a == "--fleet-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(fresh) = &fleet_fresh {
+        fleet_gate(fresh, fleet_baseline.as_deref(), tolerance);
+        if args.iter().any(|a| a == "--fleet-only") {
+            return;
+        }
+    }
     let activations: u64 = if quick { 2_000 } else { 20_000 };
 
     // Micro: the fan-out encode path, before (per-peer re-encode) vs

@@ -1,0 +1,314 @@
+//! Parallel fleet execution.
+//!
+//! A fleet run is embarrassingly parallel — every home is an isolated,
+//! seeded, single-threaded simulation — so the executor is a
+//! fixed-size pool of worker threads stealing homes off one shared
+//! queue (an atomic cursor over the expanded spec list: an idle worker
+//! claims the next unclaimed home, so load balances at home
+//! granularity no matter how skewed individual home durations are).
+//!
+//! Determinism contract: everything derived from simulation state —
+//! per-home outcomes, verdicts, and the merged fleet
+//! [`ObsSnapshot`] — is a pure function of the manifest and fleet
+//! seed. Results are collected into a slot per `home_index` and merged
+//! in index order after the pool drains, so the merged snapshot is
+//! byte-identical across `--threads 1` and `--threads N`. Only the
+//! wall-clock throughput figures vary run to run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rivulet_bench::common::run_delivery;
+use rivulet_core::delivery::Delivery;
+use rivulet_obs::ObsSnapshot;
+
+use crate::manifest::{FleetManifest, HomeSpec};
+
+/// Outcome of one home's run, kept per-home for axis breakdowns.
+#[derive(Debug, Clone)]
+pub struct HomeResult {
+    /// The spec that produced this result.
+    pub spec: HomeSpec,
+    /// Events the home's sensor emitted.
+    pub emitted: u64,
+    /// Distinct events the application processed.
+    pub delivered: u64,
+    /// Events the delivery-correctness verdict expected (loss- and
+    /// crash-adjusted floor).
+    pub expected_floor: u64,
+    /// Whether the home met its delivery-correctness floor.
+    pub passed: bool,
+    /// The home's full observability snapshot.
+    pub obs: ObsSnapshot,
+}
+
+impl HomeResult {
+    /// Fraction of emitted events delivered.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.emitted == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.emitted as f64
+    }
+}
+
+/// Aggregated outcome of a whole fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Fleet name from the manifest.
+    pub name: String,
+    /// Fleet seed from the manifest.
+    pub seed: u64,
+    /// Worker threads used (not part of the merged snapshot).
+    pub threads: usize,
+    /// Per-home results in `home_index` order.
+    pub homes: Vec<HomeResult>,
+    /// All per-home snapshots merged in index order, plus the
+    /// `fleet.*` counters.
+    pub merged: ObsSnapshot,
+    /// Wall-clock seconds the pool took to drain the fleet.
+    pub wall_secs: f64,
+}
+
+impl FleetOutcome {
+    /// Total events emitted across the fleet.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.homes.iter().map(|h| h.emitted).sum()
+    }
+
+    /// Total events delivered across the fleet.
+    #[must_use]
+    pub fn events_delivered(&self) -> u64 {
+        self.homes.iter().map(|h| h.delivered).sum()
+    }
+
+    /// Homes that missed their delivery-correctness floor.
+    #[must_use]
+    pub fn homes_failed(&self) -> u64 {
+        self.homes.iter().filter(|h| !h.passed).count() as u64
+    }
+
+    /// The fleet-scale throughput figure: delivered events per
+    /// wall-clock second, summed across all homes (homes × events/s).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_delivered() as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Homes completed per wall-clock second.
+    #[must_use]
+    pub fn homes_per_sec(&self) -> f64 {
+        self.homes.len() as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs one home to completion and judges its delivery verdict.
+#[must_use]
+pub fn run_home(spec: &HomeSpec) -> HomeResult {
+    let cfg = spec.params.to_scenario(spec.seed);
+    let out = run_delivery(&cfg);
+    let emitted = out.emitted;
+    let delivered = out.unique_delivered as u64;
+    let expected_floor = delivery_floor(spec, emitted);
+    HomeResult {
+        spec: spec.clone(),
+        emitted,
+        delivered,
+        expected_floor,
+        passed: delivered >= expected_floor,
+        obs: out.obs,
+    }
+}
+
+/// The delivery-correctness floor for a home: how many of `emitted`
+/// events it must deliver to pass.
+///
+/// The floor starts from the guarantee's loss model (§8.3 / Fig. 6):
+/// Gap forwards from a single receiver and is expected to deliver
+/// `1 − loss`; Gapless retrieves events across all `m` receivers and
+/// approaches `1 − lossᵐ`. A crash costs Gap the failure-detection
+/// gap (Gapless replays it from the replicated store), and a few
+/// tail events may still be in flight when virtual time expires. The
+/// manifest's `min_delivered_fraction` then scales the modeled
+/// expectation — it is a *safety margin on the model*, not a raw
+/// delivered fraction.
+#[must_use]
+pub fn delivery_floor(spec: &HomeSpec, emitted: u64) -> u64 {
+    let p = &spec.params;
+    let mut expected = match p.delivery {
+        Delivery::Gap => 1.0 - p.loss,
+        Delivery::Gapless => 1.0 - p.loss.powi(p.receivers.min(p.processes) as i32),
+    } * emitted as f64;
+    if p.crash_at().is_some() && p.delivery == Delivery::Gap {
+        // The gap: events emitted between the crash and promotion of a
+        // shadow (failure timeout plus a keep-alive round, generously).
+        expected -= (p.failure_timeout_secs + 1.0) * p.rate_per_sec as f64;
+    }
+    // In-flight tail: events emitted in the last moments may not have
+    // traversed the ring when the run ends (one full traversal plus
+    // the ack window, ~2 s of emissions, floor of 3 events).
+    let tail = (2.0 * p.rate_per_sec as f64).max(3.0);
+    let floor = (expected * p.min_delivered_fraction - tail).max(0.0);
+    floor.floor() as u64
+}
+
+/// Runs the whole fleet on `threads` workers (0 = one per available
+/// core). Panics inside a home propagate after the pool drains.
+#[must_use]
+pub fn run_fleet(manifest: &FleetManifest, threads: usize) -> FleetOutcome {
+    let specs = manifest.expand().expect("manifest validated at parse time");
+    // CLI request wins; 0 falls back to the manifest's setting; both
+    // zero means one worker per available core.
+    let requested = if threads > 0 {
+        threads
+    } else {
+        manifest.threads
+    };
+    let threads = effective_threads(requested);
+    let started = Instant::now();
+    let results = run_pool(&specs, threads);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Merge in home-index order: canonical, thread-count independent.
+    let mut merged = ObsSnapshot::default();
+    for home in &results {
+        merged.merge(&home.obs);
+    }
+    let emitted: u64 = results.iter().map(|h| h.emitted).sum();
+    let delivered: u64 = results.iter().map(|h| h.delivered).sum();
+    let failed = results.iter().filter(|h| !h.passed).count() as u64;
+    merged.set_counter("fleet.homes", results.len() as u64);
+    merged.set_counter("fleet.configs", manifest.config_count() as u64);
+    merged.set_counter("fleet.homes_failed", failed);
+    merged.set_counter("fleet.events_emitted", emitted);
+    merged.set_counter("fleet.events_total", delivered);
+
+    FleetOutcome {
+        name: manifest.name.clone(),
+        seed: manifest.seed,
+        threads,
+        homes: results,
+        merged,
+        wall_secs,
+    }
+}
+
+/// Resolves a thread-count request: 0 means one worker per available
+/// core.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The worker pool: `threads` workers self-schedule over the spec list
+/// through one shared atomic cursor, writing each result into its
+/// home's dedicated slot.
+fn run_pool(specs: &[HomeSpec], threads: usize) -> Vec<HomeResult> {
+    let threads = threads.max(1).min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<HomeResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Claim (steal) the next unclaimed home off the queue.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let result = run_home(spec);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every home ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::FleetManifest;
+
+    const SMALL: &str = r#"
+[fleet]
+name = "exec-test"
+seed = 9
+homes_per_config = 2
+
+[base]
+processes = 3
+rate_per_sec = 10
+duration_secs = 4.0
+
+[axes]
+ack_mode = ["cumulative", "per_event"]
+"#;
+
+    #[test]
+    fn fleet_runs_all_homes_and_passes() {
+        let m = FleetManifest::from_text(SMALL).unwrap();
+        let out = run_fleet(&m, 2);
+        assert_eq!(out.homes.len(), 4);
+        assert_eq!(out.homes_failed(), 0, "failure-free homes must pass");
+        assert!(out.events_delivered() > 0);
+        assert_eq!(out.merged.counter("fleet.homes"), 4);
+        assert_eq!(out.merged.counter("fleet.homes_failed"), 0);
+        assert_eq!(
+            out.merged.counter("fleet.events_total"),
+            out.events_delivered()
+        );
+        // Per-home app deliveries fold into the merged counter.
+        assert_eq!(
+            out.merged.counter("app.deliveries"),
+            out.homes
+                .iter()
+                .map(|h| h.obs.counter("app.deliveries"))
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn verdict_floor_respects_loss_model() {
+        let m = FleetManifest::from_text(SMALL).unwrap();
+        let mut spec = m.expand().unwrap()[0].clone();
+        spec.params.rate_per_sec = 100;
+        let lossless = delivery_floor(&spec, 1000);
+        spec.params.loss = 0.5;
+        spec.params.delivery = Delivery::Gap;
+        let lossy = delivery_floor(&spec, 1000);
+        assert!(lossy < lossless, "{lossy} !< {lossless}");
+        // Gapless with several receivers recovers most of the loss.
+        spec.params.delivery = Delivery::Gapless;
+        spec.params.receivers = 3;
+        let recovered = delivery_floor(&spec, 1000);
+        assert!(recovered > lossy, "{recovered} !> {lossy}");
+    }
+
+    #[test]
+    fn single_home_rerun_matches_fleet_member() {
+        // The debugging contract: re-running one home standalone
+        // reproduces exactly what it did inside the fleet.
+        let m = FleetManifest::from_text(SMALL).unwrap();
+        let fleet = run_fleet(&m, 3);
+        let spec = m.expand().unwrap()[2].clone();
+        let solo = run_home(&spec);
+        let member = &fleet.homes[2];
+        assert_eq!(solo.delivered, member.delivered);
+        assert_eq!(solo.obs, member.obs);
+        assert_eq!(solo.obs.to_json(), member.obs.to_json());
+    }
+}

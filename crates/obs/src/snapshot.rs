@@ -115,6 +115,46 @@ impl ObsSnapshot {
             .collect()
     }
 
+    /// Folds `other` into this snapshot.
+    ///
+    /// Merge semantics per family:
+    ///
+    /// * **counters** — summed. Summation is commutative and
+    ///   associative, so any merge order over a set of snapshots
+    ///   produces the same totals.
+    /// * **gauges** — *last write wins*: `other`'s value overwrites
+    ///   any existing entry for the same name. Gauges are levels, not
+    ///   totals; summing `store.len` across homes would fabricate a
+    ///   store that exists nowhere. Callers that need a fleet-wide
+    ///   level should fold gauges explicitly (min/max/mean) before or
+    ///   after merging. Because of this rule, gauge values depend on
+    ///   merge order — merge in a canonical order (the fleet executor
+    ///   merges in home-index order) for deterministic output.
+    /// * **histograms** — bucket-wise summed via
+    ///   [`Histogram::merge`]; count/sum/min/max fold exactly, so
+    ///   histogram merging is also order-insensitive.
+    /// * **timeline events** — concatenated, then sorted by
+    ///   `(at, name, key, value)`. The result is the deterministic
+    ///   multiset union of both timelines regardless of merge order.
+    /// * **spans** — concatenated, then sorted by `(start, name,
+    ///   key, end)`, matching the ordering contract of
+    ///   [`Recorder::snapshot`](crate::Recorder::snapshot).
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        for (&name, &value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (&name, &value) in &other.gauges {
+            self.gauges.insert(name, value);
+        }
+        for (&name, theirs) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(theirs);
+        }
+        self.events.extend(other.events.iter().copied());
+        self.events.sort_by_key(|e| (e.at, e.name, e.key, e.value));
+        self.spans.extend(other.spans.iter().copied());
+        self.spans.sort_by_key(|s| (s.start, s.name, s.key, s.end));
+    }
+
     /// Renders the snapshot as deterministic JSON: map keys are sorted
     /// (`BTreeMap` iteration order), lists keep recording order, and
     /// no wall-clock or environment data is included, so equal
@@ -270,6 +310,108 @@ mod tests {
             ..open
         };
         assert_eq!(closed.duration(), Some(Duration::from_millis(2_500)));
+    }
+
+    /// Builds a snapshot with counters, a gauge, a histogram, events,
+    /// and a span, all parameterized by `tag` so different tags yield
+    /// different-but-overlapping content.
+    fn sample(tag: u64) -> ObsSnapshot {
+        let mut s = ObsSnapshot::default();
+        s.counters.insert("shared.count", 10 + tag);
+        if tag.is_multiple_of(2) {
+            s.counters.insert("even.count", tag);
+        }
+        s.gauges.insert("level", tag as i64);
+        let mut h = Histogram::new();
+        h.observe(tag);
+        h.observe(1000 + tag);
+        s.histograms.insert("delay", h);
+        s.events.push(TimelineEvent {
+            at: Time::from_millis(tag),
+            name: "ev",
+            key: tag,
+            value: 1,
+        });
+        s.spans.push(SpanRecord {
+            name: "span",
+            key: tag,
+            start: Time::from_millis(tag),
+            end: Some(Time::from_millis(tag + 5)),
+        });
+        s
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = sample(1);
+        let b = sample(2);
+        a.merge(&b);
+        assert_eq!(a.counter("shared.count"), 11 + 12);
+        assert_eq!(a.counter("even.count"), 2, "disjoint counters adopted");
+        let h = a.histogram("delay").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1002));
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.spans.len(), 2);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = sample(3);
+        let before = a.clone();
+        a.merge(&ObsSnapshot::default());
+        assert_eq!(a, before);
+        let mut empty = ObsSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (sample(1), sample(2), sample(7));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.to_json(), right.to_json());
+    }
+
+    #[test]
+    fn merge_counters_histograms_events_are_order_insensitive() {
+        // Gauges are last-write-wins and therefore order-sensitive by
+        // contract; everything else must not depend on merge order.
+        let parts = [sample(1), sample(2), sample(7), sample(8)];
+        let fold = |order: &[usize]| {
+            let mut acc = ObsSnapshot::default();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc.gauges.clear();
+            acc
+        };
+        let forward = fold(&[0, 1, 2, 3]);
+        let backward = fold(&[3, 2, 1, 0]);
+        let shuffled = fold(&[2, 0, 3, 1]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward.to_json(), shuffled.to_json());
+    }
+
+    #[test]
+    fn merge_gauges_take_the_later_write() {
+        let mut a = sample(1);
+        a.merge(&sample(2));
+        assert_eq!(a.gauge("level"), Some(2));
+        let mut b = sample(2);
+        b.merge(&sample(1));
+        assert_eq!(b.gauge("level"), Some(1));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub use rivulet_core as core;
 pub use rivulet_devices as devices;
+pub use rivulet_fleet as fleet;
 pub use rivulet_net as net;
 pub use rivulet_obs as obs;
 pub use rivulet_storage as storage;
