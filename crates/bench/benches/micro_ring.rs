@@ -1,0 +1,136 @@
+//! Micro-benchmark of the round-3 hot-path primitives: the bounded
+//! SPSC delivery→execution ring ([`SpscRing`]) and the event-payload
+//! arena ([`PayloadArena`]).
+//!
+//! The ring replaces a `VecDeque` handoff on the delivery hot path,
+//! so the interesting comparisons are (a) single push/pop round trips
+//! against a `VecDeque` doing the same work and (b) batched drains
+//! (`pop_batch`), which is how the process actually empties the ring.
+//! The arena replaces per-event `Bytes::from(Vec<u8>)` payload copies
+//! with bump allocation into recycled chunks, so it is pinned against
+//! exactly that baseline at typical sensor-payload sizes.
+//!
+//! CI runs this in smoke mode (`cargo bench --bench micro_ring --
+//! --test`) so the loops stay wired without paying full sample counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rivulet_net::ring::SpscRing;
+use rivulet_types::PayloadArena;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+const ITEMS: u64 = 4096;
+const BATCH: usize = 64;
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_push_pop");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.bench_function("spsc_ring", |b| {
+        let ring: SpscRing<u64> = SpscRing::with_capacity(1024);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..ITEMS {
+                ring.push(black_box(i)).expect("never full: popped below");
+                sum += ring.pop().expect("just pushed");
+            }
+            black_box(sum)
+        });
+    });
+    g.bench_function("vecdeque", |b| {
+        let mut queue: VecDeque<u64> = VecDeque::with_capacity(1024);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..ITEMS {
+                queue.push_back(black_box(i));
+                sum += queue.pop_front().expect("just pushed");
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn bench_batched_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_batched_drain");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.bench_function("spsc_pop_batch", |b| {
+        let ring: SpscRing<u64> = SpscRing::with_capacity(BATCH * 2);
+        let mut scratch: Vec<u64> = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            let mut sum = 0u64;
+            let mut produced = 0u64;
+            while produced < ITEMS {
+                for _ in 0..BATCH {
+                    ring.push(black_box(produced)).expect("drained each round");
+                    produced += 1;
+                }
+                scratch.clear();
+                let popped = ring.pop_batch(&mut scratch, BATCH);
+                sum += scratch.iter().take(popped).sum::<u64>();
+            }
+            black_box(sum)
+        });
+    });
+    g.bench_function("vecdeque_drain", |b| {
+        let mut queue: VecDeque<u64> = VecDeque::with_capacity(BATCH * 2);
+        b.iter(|| {
+            let mut sum = 0u64;
+            let mut produced = 0u64;
+            while produced < ITEMS {
+                for _ in 0..BATCH {
+                    queue.push_back(black_box(produced));
+                    produced += 1;
+                }
+                sum += queue.drain(..).sum::<u64>();
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn bench_arena_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arena_alloc");
+    // 1 KiB is the paper's sensor-event payload size; 64 B covers the
+    // scalar-reading end.
+    for payload_bytes in [64usize, 1024] {
+        g.throughput(Throughput::Bytes(ITEMS * payload_bytes as u64));
+        let data = vec![0xA5u8; payload_bytes];
+        g.bench_with_input(
+            BenchmarkId::new("arena", payload_bytes),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut arena = PayloadArena::new();
+                    let mut held = Vec::with_capacity(ITEMS as usize);
+                    for _ in 0..ITEMS {
+                        held.push(arena.alloc(black_box(data)));
+                    }
+                    black_box(held.len())
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("bytes_from_vec", payload_bytes),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut held = Vec::with_capacity(ITEMS as usize);
+                    for _ in 0..ITEMS {
+                        held.push(bytes::Bytes::from(black_box(data).clone()));
+                    }
+                    black_box(held.len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push_pop,
+    bench_batched_drain,
+    bench_arena_alloc
+);
+criterion_main!(benches);

@@ -22,7 +22,12 @@
 //! 3. sim: every optimized workload must retire events through
 //!    cumulative acks (`acks_avoided > 0`) — this is exact, because a
 //!    zero means the wiring is dead, which is how the original
-//!    regression went unnoticed.
+//!    regression went unnoticed;
+//! 4. sim: the round-3 machinery must be live on every optimized
+//!    workload — `ring_pops`, `ring_batches`, `arena_allocs`, and
+//!    `arena_recycled` all > 0 (a zero means a dead knob or dead
+//!    chunk recycling, both of which defeat the optimization while
+//!    leaving behavior correct).
 //!
 //! `--fleet-fresh PATH` (with `--fleet-baseline PATH`) gates a fresh
 //! `BENCH_fleet.json` from the fleet orchestrator: any home failing
@@ -32,7 +37,7 @@
 //! skipping the fan-out benchmarks.
 
 use rivulet_bench::fanout::{
-    run_micro, run_sim_point, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
+    run_micro, run_sim_twin, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
 };
 use rivulet_bench::tables::render_fanout_table;
 
@@ -58,7 +63,9 @@ fn sim_json(p: &SimPoint) -> String {
             "{{\"workload\": \"{}\", \"optimized\": {}, \"emitted\": {}, ",
             "\"delivered\": {}, \"events_per_sec\": {}, \"bytes_per_event\": {}, ",
             "\"frames_coalesced\": {}, \"messages_avoided\": {}, ",
-            "\"encode_bytes_saved\": {}, \"acks_avoided\": {}}}"
+            "\"encode_bytes_saved\": {}, \"acks_avoided\": {}, ",
+            "\"ring_pops\": {}, \"ring_batches\": {}, ",
+            "\"arena_allocs\": {}, \"arena_recycled\": {}}}"
         ),
         p.workload,
         p.optimized,
@@ -70,6 +77,10 @@ fn sim_json(p: &SimPoint) -> String {
         p.fanout.messages_avoided,
         p.fanout.encode_bytes_saved,
         p.fanout.acks_avoided,
+        p.ring_pops,
+        p.ring_batches,
+        p.arena_allocs,
+        p.arena_recycled,
     )
 }
 
@@ -106,6 +117,25 @@ fn fleet_number(json: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Extracts `scaling.full.threads` from a `BENCH_fleet.json`
+/// document: finds the `"scaling"` block, then `"full"` inside it,
+/// then the first `"threads"` number. Returns `None` when the
+/// document carries no scaling section.
+fn scaling_full_threads(json: &str) -> Option<f64> {
+    let scaling = json.find("\"scaling\"")?;
+    let tail = &json[scaling..];
+    let full = tail.find("\"full\"")?;
+    let tail = &tail[full..];
+    let at = tail.find("\"threads\"")?;
+    let tail = &tail[at + "\"threads\"".len()..];
+    let colon = tail.find(':')?;
+    let tail = tail[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// The fleet regression gate: delivery correctness is exact,
 /// throughput is tolerance-banded against the committed baseline.
 fn fleet_gate(fresh_path: &str, baseline_path: Option<&str>, tolerance: f64) {
@@ -123,6 +153,22 @@ fn fleet_gate(fresh_path: &str, baseline_path: Option<&str>, tolerance: f64) {
         "{failed:.0} of {homes:.0} fleet homes failed delivery correctness \
          (see {fresh_path}); any delivery failure is CI-fatal"
     );
+    // Scaling honesty: on a multi-core host the "full" point of the
+    // scaling sweep must have actually run with more than one worker.
+    // A full.threads of 1 there means the sweep silently measured the
+    // single-thread configuration twice and reported speedup ≈ 1.0 as
+    // if it were a real parallelism result. A 1-core host is exempt —
+    // one worker is all the parallelism it has.
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if let Some(full_threads) = scaling_full_threads(&fresh) {
+        println!("fleet gate: scaling.full.threads = {full_threads:.0} (host cores: {host_cores})");
+        assert!(
+            full_threads > 1.0 || host_cores == 1,
+            "fleet scaling block is bogus: the full-core point ran with \
+             {full_threads:.0} thread(s) on a {host_cores}-core host — the sweep \
+             measured single-thread twice; regenerate with a real worker pool"
+        );
+    }
     let Some(baseline_path) = baseline_path else {
         println!("fleet gate: no --fleet-baseline given; correctness-only gate passed");
         return;
@@ -235,14 +281,17 @@ fn main() {
     }
 
     // Sim: whole-platform before/after for ring and broadcast-heavy.
+    // Each workload's twins run with interleaved repetitions (see
+    // `run_sim_twin`) so the self-relative gate below compares points
+    // measured under the same host conditions.
     let mut sims: Vec<SimPoint> = Vec::new();
     for workload in [
         SimWorkload::Ring,
         SimWorkload::RingCrash,
         SimWorkload::Broadcast,
     ] {
-        for optimized in [false, true] {
-            let p = run_sim_point(workload, optimized);
+        let (before, after) = run_sim_twin(workload, 5);
+        for p in [before, after] {
             println!(
                 "sim {} {}: {} delivered, {:>9.0} events/s (host), {:>8.1} B/event",
                 p.workload,
@@ -298,8 +347,35 @@ fn main() {
                  (acks_avoided == 0): the watermark-retirement path is dead",
                 p.workload
             );
+            // Round-3 liveness: an optimized run with zero ring or
+            // arena activity means the knob is wired to nothing —
+            // exactly how the original coalescing regression hid.
+            assert!(
+                p.ring_pops > 0 && p.ring_batches > 0,
+                "exec ring moved nothing on optimized sim workload {} \
+                 (ring_pops {}, ring_batches {}): the SPSC handoff is dead",
+                p.workload,
+                p.ring_pops,
+                p.ring_batches
+            );
+            assert!(
+                p.arena_allocs > 0,
+                "payload arena re-homed nothing on optimized sim workload {} \
+                 (arena_allocs == 0): the arena hook in EventStore::insert is dead",
+                p.workload
+            );
+            assert!(
+                p.arena_recycled > 0,
+                "payload arena recycled no chunks on optimized sim workload {} \
+                 (arena_recycled == 0): retirement is dropping chunks instead of \
+                 reclaiming them (see arena::tests::exactly_filled_chunks_still_recycle)",
+                p.workload
+            );
         }
-        println!("sim gate: all optimized workloads >= unoptimized twins, acks_avoided > 0");
+        println!(
+            "sim gate: all optimized workloads >= unoptimized twins; \
+             acks_avoided, ring_pops, arena_allocs, arena_recycled all > 0"
+        );
     }
 
     let json = format!(

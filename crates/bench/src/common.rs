@@ -70,6 +70,15 @@ pub struct DeliveryScenario {
     /// Broadcast acknowledgement mode (cumulative keep-alive
     /// watermarks vs per-event acks).
     pub ack_mode: AckMode,
+    /// Delivery→execution SPSC ring (off measures the inline
+    /// delivery baseline).
+    pub exec_ring: bool,
+    /// Payload-arena re-homing in the event store (off measures the
+    /// frame-pinning clone baseline).
+    pub payload_arena: bool,
+    /// Adaptive WAL group-commit gating (off pins the fixed
+    /// `wal_max_gated` bound).
+    pub wal_adaptive: bool,
     /// Enable the observability recorder for this run (figures read
     /// their numbers from the resulting [`ObsSnapshot`]).
     pub obs: bool,
@@ -98,6 +107,9 @@ impl DeliveryScenario {
             failure_timeout: Duration::from_secs(2),
             coalescing: true,
             ack_mode: AckMode::Cumulative,
+            exec_ring: true,
+            payload_arena: true,
+            wal_adaptive: true,
             obs: false,
             durable: false,
             seed: 42,
@@ -170,7 +182,10 @@ pub fn run_delivery_with_probes(
         .with_failure_timeout(cfg.failure_timeout)
         .with_forwarding(cfg.forwarding)
         .with_coalescing(cfg.coalescing)
-        .with_ack_mode(cfg.ack_mode);
+        .with_ack_mode(cfg.ack_mode)
+        .with_exec_ring(cfg.exec_ring)
+        .with_payload_arena(cfg.payload_arena)
+        .with_wal_adaptive_gating(cfg.wal_adaptive);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     if cfg.durable {
         let seed = cfg.seed;
@@ -261,7 +276,10 @@ pub fn background_wifi_bytes(cfg: &DeliveryScenario) -> u64 {
         .with_failure_timeout(quiet.failure_timeout)
         .with_forwarding(quiet.forwarding)
         .with_coalescing(quiet.coalescing)
-        .with_ack_mode(quiet.ack_mode);
+        .with_ack_mode(quiet.ack_mode)
+        .with_exec_ring(quiet.exec_ring)
+        .with_payload_arena(quiet.payload_arena)
+        .with_wal_adaptive_gating(quiet.wal_adaptive);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     let pids: Vec<ProcessId> = (0..quiet.n_processes)
         .map(|i| home.add_host(format!("host{i}")))

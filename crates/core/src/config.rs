@@ -85,7 +85,30 @@ pub struct RivuletConfig {
     /// behind un-flushed WAL appends, the process forces a group commit
     /// instead of waiting for the flush policy's own trigger. Bounds
     /// gated-queue growth (and flush latency) under broadcast storms.
+    /// With [`RivuletConfig::wal_adaptive_gating`] this is the
+    /// *initial* bound; the live bound then tracks observed burst
+    /// depth.
     pub wal_max_gated: usize,
+    /// Whether the group-commit bound adapts to load: repeated forced
+    /// flushes (bursts) grow it so commits stay batched, idle flushes
+    /// at low depth shrink it back so latency stays bounded. Disabled,
+    /// the bound is pinned at `wal_max_gated`.
+    pub wal_adaptive_gating: bool,
+    /// Whether the delivery→execution handoff runs through a bounded
+    /// lock-free SPSC ring with batched pops instead of delivering
+    /// inline per action. Behavior-neutral (same events, same order);
+    /// disable to measure the inline baseline.
+    pub exec_ring: bool,
+    /// Slots in the delivery→execution ring (rounded up to a power of
+    /// two). When the ring fills, delivery falls back to inline
+    /// execution for that event, so this bounds batching, not
+    /// correctness.
+    pub exec_ring_capacity: usize,
+    /// Whether stored event payloads that pin a larger backing buffer
+    /// (views into arrival frames) are re-homed into a refcounted
+    /// payload arena recycled on watermark retirement. Disable to
+    /// measure the frame-pinning baseline.
+    pub payload_arena: bool,
 }
 
 impl Default for RivuletConfig {
@@ -103,6 +126,10 @@ impl Default for RivuletConfig {
             ack_mode: AckMode::Cumulative,
             store_shards: 8,
             wal_max_gated: 512,
+            wal_adaptive_gating: true,
+            exec_ring: true,
+            exec_ring_capacity: 1024,
+            payload_arena: true,
         }
     }
 }
@@ -171,6 +198,43 @@ impl RivuletConfig {
         self.store_shards = shards;
         self
     }
+
+    /// Returns a config with adaptive WAL group-commit gating enabled
+    /// or disabled.
+    #[must_use]
+    pub fn with_wal_adaptive_gating(mut self, enabled: bool) -> Self {
+        self.wal_adaptive_gating = enabled;
+        self
+    }
+
+    /// Returns a config with the delivery→execution SPSC ring enabled
+    /// or disabled.
+    #[must_use]
+    pub fn with_exec_ring(mut self, enabled: bool) -> Self {
+        self.exec_ring = enabled;
+        self
+    }
+
+    /// Returns a config with the delivery→execution ring capacity
+    /// replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_exec_ring_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "exec ring capacity must be positive");
+        self.exec_ring_capacity = capacity;
+        self
+    }
+
+    /// Returns a config with payload-arena re-homing enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_payload_arena(mut self, enabled: bool) -> Self {
+        self.payload_arena = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +251,29 @@ mod tests {
         assert_eq!(c.ack_mode, AckMode::Cumulative);
         assert_eq!(c.store_shards, 8);
         assert!(c.wal_max_gated > 0);
+        assert!(c.wal_adaptive_gating, "adaptive gating on by default");
+        assert!(c.exec_ring, "exec ring on by default");
+        assert!(c.exec_ring_capacity > 0);
+        assert!(c.payload_arena, "payload arena on by default");
+    }
+
+    #[test]
+    fn round3_builders() {
+        let c = RivuletConfig::default()
+            .with_wal_adaptive_gating(false)
+            .with_exec_ring(false)
+            .with_exec_ring_capacity(64)
+            .with_payload_arena(false);
+        assert!(!c.wal_adaptive_gating);
+        assert!(!c.exec_ring);
+        assert_eq!(c.exec_ring_capacity, 64);
+        assert!(!c.payload_arena);
+    }
+
+    #[test]
+    #[should_panic(expected = "exec ring capacity must be positive")]
+    fn zero_ring_capacity_panics() {
+        let _ = RivuletConfig::default().with_exec_ring_capacity(0);
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod config;
 pub mod delivery;
 pub mod deploy;
 pub mod execution;
+pub mod gating;
 pub mod membership;
 pub mod messages;
 pub mod probe;

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rivulet_types::{Event, EventId, SensorId, Time};
+use rivulet_types::{ArenaStats, Event, EventId, PayloadArena, SensorId, Time};
 
 type SensorShard = BTreeMap<SensorId, BTreeMap<u64, Event>>;
 
@@ -32,6 +32,11 @@ pub struct EventStore {
     cap_per_sensor: usize,
     inserted: u64,
     evicted: u64,
+    /// When attached ([`EventStore::enable_arena`]), blob payloads that
+    /// pin a larger backing buffer (views into arrival frames) are
+    /// re-homed into recycled arena chunks on insert, so a retained
+    /// 40-byte payload stops holding a kilobyte frame alive.
+    arena: Option<PayloadArena>,
 }
 
 impl EventStore {
@@ -62,7 +67,26 @@ impl EventStore {
             cap_per_sensor,
             inserted: 0,
             evicted: 0,
+            arena: None,
         }
+    }
+
+    /// Attaches a payload arena: from now on, inserted events whose
+    /// blob payload pins a larger backing allocation are re-homed into
+    /// dense recycled chunks ([`PayloadArena::rehome`]).
+    pub fn enable_arena(&mut self) {
+        if self.arena.is_none() {
+            self.arena = Some(PayloadArena::new());
+        }
+    }
+
+    /// Arena allocation counters; all-zero when no arena is attached.
+    #[must_use]
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena
+            .as_ref()
+            .map(PayloadArena::stats)
+            .unwrap_or_default()
     }
 
     #[inline]
@@ -109,16 +133,20 @@ impl EventStore {
 
     /// Inserts `event`; returns `true` if it was new, `false` if it was
     /// a duplicate (in which case the store is unchanged).
-    pub fn insert(&mut self, event: Event) -> bool {
+    pub fn insert(&mut self, mut event: Event) -> bool {
         let cap = self.cap_per_sensor;
         let mut evicted = 0u64;
         {
-            let per = self
-                .shard_mut(event.id.sensor)
-                .entry(event.id.sensor)
-                .or_default();
+            let shard = self.shard_index(event.id.sensor);
+            let per = self.shards[shard].entry(event.id.sensor).or_default();
             if per.contains_key(&event.id.seq) {
                 return false;
+            }
+            // Re-home only *retained* payloads (duplicates bailed out
+            // above): the copy happens once per stored event, off the
+            // dedup fast path.
+            if let Some(arena) = &mut self.arena {
+                event.payload = arena.rehome(event.payload);
             }
             per.insert(event.id.seq, event);
             while per.len() > cap {
@@ -507,6 +535,47 @@ mod tests {
     #[should_panic(expected = "store shard count must be positive")]
     fn zero_shards_panics() {
         let _ = EventStore::with_shards(10, 0);
+    }
+
+    #[test]
+    fn arena_rehomes_frame_pinning_payloads() {
+        use bytes::Bytes;
+        use rivulet_types::Payload;
+        let mut s = EventStore::new(10);
+        s.enable_arena();
+        assert_eq!(s.arena_stats(), ArenaStats::default());
+        // A payload sliced out of a big "frame" (larger than an arena
+        // chunk, so the chunk's own backing is the smaller home) pins
+        // the whole frame until re-homed.
+        let frame = Bytes::from(vec![3u8; 128 * 1024]);
+        let view = frame.slice_ref(&frame[10..50]);
+        let mut e = ev(1, 0);
+        e.payload = Payload::Blob(view.clone());
+        assert!(s.insert(e));
+        let stored = &s.events_after(SensorId(1), None)[0];
+        let Payload::Blob(b) = &stored.payload else {
+            panic!("blob stays blob");
+        };
+        assert_eq!(*b, view, "payload bytes preserved");
+        assert!(
+            b.backing_len() < frame.len(),
+            "stored payload no longer pins the arrival frame"
+        );
+        assert_eq!(s.arena_stats().allocs, 1);
+        // A duplicate is rejected before any arena work.
+        let mut dup = ev(1, 0);
+        dup.payload = Payload::Blob(frame.slice_ref(&frame[10..50]));
+        assert!(!s.insert(dup));
+        assert_eq!(s.arena_stats().allocs, 1, "no copy for duplicates");
+        // Without an arena the view passes through untouched.
+        let mut plain = EventStore::new(10);
+        let mut e2 = ev(2, 0);
+        e2.payload = Payload::Blob(frame.slice_ref(&frame[10..50]));
+        assert!(plain.insert(e2));
+        let Payload::Blob(kept) = &plain.events_after(SensorId(2), None)[0].payload else {
+            panic!();
+        };
+        assert_eq!(kept.backing_len(), frame.len(), "baseline pins the frame");
     }
 
     #[test]

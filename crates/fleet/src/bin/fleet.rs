@@ -85,25 +85,36 @@ fn main() -> ExitCode {
 
             let scaling = measure_scaling.then(|| {
                 let cores = effective_threads(0);
+                if cores == 1 {
+                    eprintln!(
+                        "scaling: WARNING: host reports a single core; the full-core \
+                         point degenerates to the single-worker run and measures no \
+                         parallelism"
+                    );
+                }
                 println!("scaling: re-running at 1 and {cores} worker(s)...");
                 let single = run_fleet(&manifest, 1);
                 let full = run_fleet(&manifest, cores);
+                // Record the thread counts the runs *actually used*
+                // (the pool clamps to the home count), not the request
+                // — the baseline gate audits `full.threads` for bogus
+                // single-thread "scaling" results on multi-core hosts.
                 let s = Scaling {
                     single: ScalingPoint {
-                        threads: 1,
+                        threads: single.threads,
                         wall_secs: single.wall_secs,
                         events_per_sec: single.events_per_sec(),
                     },
                     full: ScalingPoint {
-                        threads: cores,
+                        threads: full.threads,
                         wall_secs: full.wall_secs,
                         events_per_sec: full.events_per_sec(),
                     },
                 };
                 println!(
-                    "scaling: {:.2}x speedup on {} cores ({:.0}% of ideal)",
+                    "scaling: {:.2}x speedup on {} worker(s) ({:.0}% of ideal)",
                     s.speedup(),
-                    cores,
+                    full.threads,
                     s.efficiency() * 100.0
                 );
                 s

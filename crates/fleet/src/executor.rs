@@ -10,11 +10,15 @@
 //! Determinism contract: everything derived from simulation state —
 //! per-home outcomes, verdicts, and the merged fleet
 //! [`ObsSnapshot`] — is a pure function of the manifest and fleet
-//! seed. Results are collected into a slot per `home_index` and merged
-//! in index order after the pool drains, so the merged snapshot is
-//! byte-identical across `--threads 1` and `--threads N`. Only the
-//! wall-clock throughput figures vary run to run.
+//! seed. Per-home snapshots are folded into the merged snapshot
+//! *incrementally*, strictly in `home_index` order (an in-order
+//! frontier over completed slots), so the merged snapshot is
+//! byte-identical across `--threads 1` and `--threads N` while the
+//! run holds at most the out-of-order completion window of snapshots
+//! in memory — not one per home. Only the wall-clock throughput
+//! figures vary run to run.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -52,6 +56,48 @@ impl HomeResult {
         }
         self.delivered as f64 / self.emitted as f64
     }
+
+    /// The slim per-home record kept after the snapshot is folded.
+    #[must_use]
+    pub fn summarize(&self) -> HomeSummary {
+        HomeSummary {
+            spec: self.spec.clone(),
+            emitted: self.emitted,
+            delivered: self.delivered,
+            expected_floor: self.expected_floor,
+            passed: self.passed,
+        }
+    }
+}
+
+/// What a fleet run retains per home once the home's `ObsSnapshot`
+/// has been folded into the merged snapshot: the verdict and the
+/// counts the axis breakdown needs. Keeping the full snapshot per
+/// home made fleet memory grow linearly with fleet size; the summary
+/// is a few words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeSummary {
+    /// The spec that produced this result.
+    pub spec: HomeSpec,
+    /// Events the home's sensor emitted.
+    pub emitted: u64,
+    /// Distinct events the application processed.
+    pub delivered: u64,
+    /// Events the delivery-correctness verdict expected.
+    pub expected_floor: u64,
+    /// Whether the home met its delivery-correctness floor.
+    pub passed: bool,
+}
+
+impl HomeSummary {
+    /// Fraction of emitted events delivered.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.emitted == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.emitted as f64
+    }
 }
 
 /// Aggregated outcome of a whole fleet run.
@@ -63,8 +109,9 @@ pub struct FleetOutcome {
     pub seed: u64,
     /// Worker threads used (not part of the merged snapshot).
     pub threads: usize,
-    /// Per-home results in `home_index` order.
-    pub homes: Vec<HomeResult>,
+    /// Slim per-home results in `home_index` order (snapshots are
+    /// folded into `merged` as homes complete, not retained here).
+    pub homes: Vec<HomeSummary>,
     /// All per-home snapshots merged in index order, plus the
     /// `fleet.*` counters.
     pub merged: ObsSnapshot,
@@ -167,16 +214,14 @@ pub fn run_fleet(manifest: &FleetManifest, threads: usize) -> FleetOutcome {
     } else {
         manifest.threads
     };
-    let threads = effective_threads(requested);
+    // Record the thread count the pool actually runs with (clamped to
+    // the home count) — `FleetOutcome::threads` feeds the scaling
+    // report, which must not claim parallelism that never happened.
+    let threads = effective_threads(requested).max(1).min(specs.len().max(1));
     let started = Instant::now();
-    let results = run_pool(&specs, threads);
+    let (results, mut merged) = run_pool(&specs, threads);
     let wall_secs = started.elapsed().as_secs_f64();
 
-    // Merge in home-index order: canonical, thread-count independent.
-    let mut merged = ObsSnapshot::default();
-    for home in &results {
-        merged.merge(&home.obs);
-    }
     let emitted: u64 = results.iter().map(|h| h.emitted).sum();
     let delivered: u64 = results.iter().map(|h| h.delivered).sum();
     let failed = results.iter().filter(|h| !h.passed).count() as u64;
@@ -208,13 +253,43 @@ pub fn effective_threads(requested: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// The in-order snapshot fold shared by the pool workers: `merged` has
+/// absorbed every home below `frontier`; snapshots of homes that
+/// completed out of order park in `parked` until the frontier reaches
+/// them. Memory held is one snapshot per *out-of-order* completion —
+/// the pool's skew window — instead of one per home.
+struct SnapshotFold {
+    frontier: usize,
+    merged: ObsSnapshot,
+    parked: BTreeMap<usize, ObsSnapshot>,
+}
+
+impl SnapshotFold {
+    fn absorb(&mut self, index: usize, obs: ObsSnapshot) {
+        self.parked.insert(index, obs);
+        // Drain the in-order frontier: merge order is exactly
+        // home-index order, so the merged snapshot is byte-identical
+        // to a sequential single-thread fold.
+        while let Some(obs) = self.parked.remove(&self.frontier) {
+            self.merged.merge(&obs);
+            self.frontier += 1;
+        }
+    }
+}
+
 /// The worker pool: `threads` workers self-schedule over the spec list
-/// through one shared atomic cursor, writing each result into its
-/// home's dedicated slot.
-fn run_pool(specs: &[HomeSpec], threads: usize) -> Vec<HomeResult> {
+/// through one shared atomic cursor. Each completed home's snapshot is
+/// folded into the shared merged snapshot as soon as the in-order
+/// frontier reaches it; only the slim [`HomeSummary`] is kept per home.
+fn run_pool(specs: &[HomeSpec], threads: usize) -> (Vec<HomeSummary>, ObsSnapshot) {
     let threads = threads.max(1).min(specs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<HomeResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<HomeSummary>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let fold = Mutex::new(SnapshotFold {
+        frontier: 0,
+        merged: ObsSnapshot::default(),
+        parked: BTreeMap::new(),
+    });
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -224,18 +299,30 @@ fn run_pool(specs: &[HomeSpec], threads: usize) -> Vec<HomeResult> {
                 let result = run_home(spec);
                 *slots[i]
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result.summarize());
+                fold.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .absorb(i, result.obs);
             });
         }
     });
-    slots
+    let fold = fold
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(
+        fold.frontier,
+        specs.len(),
+        "every home's snapshot folded in order"
+    );
+    let summaries = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every home ran to completion")
         })
-        .collect()
+        .collect();
+    (summaries, fold.merged)
 }
 
 #[cfg(test)]
@@ -271,14 +358,30 @@ ack_mode = ["cumulative", "per_event"]
             out.merged.counter("fleet.events_total"),
             out.events_delivered()
         );
-        // Per-home app deliveries fold into the merged counter.
+        // Per-home app deliveries fold into the merged counter even
+        // though homes no longer retain their snapshots: re-run each
+        // home standalone and sum.
+        let specs = m.expand().unwrap();
         assert_eq!(
             out.merged.counter("app.deliveries"),
-            out.homes
+            specs
                 .iter()
-                .map(|h| h.obs.counter("app.deliveries"))
+                .map(|s| run_home(s).obs.counter("app.deliveries"))
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn incremental_fold_is_thread_count_independent() {
+        // The fold releases snapshots as the in-order frontier passes
+        // them; the merged result must still be byte-identical across
+        // thread counts (out-of-order completions park until their
+        // turn).
+        let m = FleetManifest::from_text(SMALL).unwrap();
+        let serial = run_fleet(&m, 1);
+        let pooled = run_fleet(&m, 3);
+        assert_eq!(serial.merged, pooled.merged);
+        assert_eq!(serial.merged.to_json(), pooled.merged.to_json());
     }
 
     #[test]
@@ -301,14 +404,20 @@ ack_mode = ["cumulative", "per_event"]
     #[test]
     fn single_home_rerun_matches_fleet_member() {
         // The debugging contract: re-running one home standalone
-        // reproduces exactly what it did inside the fleet.
+        // reproduces exactly what it did inside the fleet. The fleet
+        // keeps only the slim summary per home, so the check compares
+        // the summary fields — and verifies the standalone run's full
+        // snapshot is consistent with its own verdict.
         let m = FleetManifest::from_text(SMALL).unwrap();
         let fleet = run_fleet(&m, 3);
         let spec = m.expand().unwrap()[2].clone();
         let solo = run_home(&spec);
         let member = &fleet.homes[2];
+        assert_eq!(solo.emitted, member.emitted);
         assert_eq!(solo.delivered, member.delivered);
-        assert_eq!(solo.obs, member.obs);
-        assert_eq!(solo.obs.to_json(), member.obs.to_json());
+        assert_eq!(solo.expected_floor, member.expected_floor);
+        assert_eq!(solo.passed, member.passed);
+        assert_eq!(solo.obs.counter("app.deliveries") > 0, solo.delivered > 0);
+        assert_eq!(solo.summarize().delivered, member.delivered);
     }
 }

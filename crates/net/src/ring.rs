@@ -1,0 +1,321 @@
+//! Bounded single-producer/single-consumer ring buffers.
+//!
+//! The per-home hot path hands events from the **delivery** stage
+//! (gap/gapless/rbcast ingestion) to the **execution** stage (operator
+//! DAG evaluation). Routing that handoff through a shared queue with a
+//! lock — or even an MPMC channel — puts a synchronization point in
+//! the middle of every activation. [`SpscRing`] replaces it with the
+//! classic lock-free bounded ring: one producer, one consumer,
+//! cache-line-padded head/tail counters so the two sides never false-
+//! share, and batched pops so the consumer amortizes its acquire load
+//! over many events.
+//!
+//! The ring is deliberately minimal: fixed power-of-two capacity,
+//! `push` fails (returning the value) when full so callers can fall
+//! back instead of blocking, and `pop_batch` drains up to `max` items
+//! per acquire.
+//!
+//! # SPSC contract
+//!
+//! At most one thread may call [`SpscRing::push`] and at most one
+//! thread may call [`SpscRing::pop`]/[`SpscRing::pop_batch`]
+//! concurrently. The same thread may be both producer and consumer
+//! (the deterministic sim driver runs each home's stages on one
+//! thread; the live driver runs them on the actor's thread), in which
+//! case the contract holds trivially and the atomics are uncontended.
+
+#![allow(unsafe_code)] // slot storage; invariants documented on `SpscRing`
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic counter alone on its cache line, so the producer's tail
+/// stores never invalidate the consumer's head line and vice versa.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicUsize);
+
+/// A bounded lock-free single-producer/single-consumer ring.
+///
+/// # Safety invariants
+///
+/// * `head <= tail` always; `tail - head <= capacity`.
+/// * Slot `i % capacity` is initialized exactly when
+///   `head <= i < tail`: the producer writes a slot before publishing
+///   it with a release store of `tail`; the consumer reads a slot
+///   after an acquire load of `tail` and releases it with a release
+///   store of `head` *after* moving the value out.
+/// * With one producer and one consumer, a slot is therefore never
+///   accessed by both sides at once, which makes the `UnsafeCell`
+///   accesses race-free.
+pub struct SpscRing<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Index mask; capacity is a power of two.
+    mask: usize,
+    /// Next slot the consumer will read (monotonic, wraps via mask).
+    head: PaddedCounter,
+    /// Next slot the producer will write (monotonic, wraps via mask).
+    tail: PaddedCounter,
+}
+
+// SAFETY: the ring hands each `T` from exactly one thread to exactly
+// one other thread (invariants above), so it is Send/Sync whenever the
+// element itself may move between threads.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding at least `capacity` items (rounded up to
+    /// the next power of two, minimum 2).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Self {
+            slots,
+            mask: cap - 1,
+            head: PaddedCounter::default(),
+            tail: PaddedCounter::default(),
+        }
+    }
+
+    /// The fixed number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Items currently queued. Exact when called from either endpoint
+    /// thread; a snapshot otherwise.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.0.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `value`, or returns it in `Err` if the ring is full.
+    ///
+    /// Producer-side only (see the SPSC contract in the module docs).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return Err(value);
+        }
+        // SAFETY: `tail - head <= mask` proves slot `tail & mask` is
+        // free (the consumer has released it), and only this producer
+        // writes slots.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(value);
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Dequeues one item, or `None` if the ring is empty.
+    ///
+    /// Consumer-side only (see the SPSC contract in the module docs).
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` proves the slot was published by the
+        // producer's release store; moving the value out before the
+        // release store of `head` keeps the slot-initialization
+        // invariant.
+        let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues up to `max` items into `out`, returning how many were
+    /// moved. One acquire load covers the whole batch — this is the
+    /// consumer's fast path.
+    ///
+    /// Consumer-side only (see the SPSC contract in the module docs).
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let avail = tail.wrapping_sub(head);
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            // SAFETY: as in `pop`; every index in `head..head + n` is
+            // published and not yet released.
+            let value =
+                unsafe { (*self.slots[head.wrapping_add(i) & self.mask].get()).assume_init_read() };
+            out.push(value);
+        }
+        self.head.0.store(head.wrapping_add(n), Ordering::Release);
+        n
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drop any items still queued. `&mut self` means no concurrent
+        // endpoint exists.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> fmt::Debug for SpscRing<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let ring = SpscRing::with_capacity(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(SpscRing::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(SpscRing::<u8>::with_capacity(5).capacity(), 8);
+        assert_eq!(SpscRing::<u8>::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn push_fails_when_full_and_returns_value() {
+        let ring = SpscRing::with_capacity(2);
+        ring.push("a").unwrap();
+        ring.push("b").unwrap();
+        assert_eq!(ring.push("c"), Err("c"));
+        assert_eq!(ring.pop(), Some("a"));
+        ring.push("c").unwrap();
+        assert_eq!(ring.pop(), Some("b"));
+        assert_eq!(ring.pop(), Some("c"));
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let ring = SpscRing::with_capacity(16);
+        for i in 0..10 {
+            ring.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(ring.pop_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+        assert_eq!(ring.pop_batch(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let ring = SpscRing::with_capacity(4);
+        // Cycle through the ring many times its capacity.
+        let mut next_pop = 0u64;
+        for i in 0..1000u64 {
+            ring.push(i).unwrap();
+            if i % 3 == 0 {
+                while let Some(v) = ring.pop() {
+                    assert_eq!(v, next_pop);
+                    next_pop += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        ring.pop_batch(&mut out, usize::MAX);
+        for v in out {
+            assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, 1000);
+    }
+
+    #[test]
+    fn drop_releases_queued_items() {
+        let marker = Arc::new(());
+        {
+            let ring = SpscRing::with_capacity(8);
+            for _ in 0..5 {
+                ring.push(Arc::clone(&marker)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&marker), 6);
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "drop freed queued items");
+    }
+
+    #[test]
+    fn cross_thread_stress_transfers_everything_in_order() {
+        let ring = Arc::new(SpscRing::with_capacity(64));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    let mut v = i;
+                    loop {
+                        match ring.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                // Yield, not spin: the test must also
+                                // finish promptly on a 1-core host.
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut expected = 0u64;
+                let mut batch = Vec::new();
+                while expected < 20_000 {
+                    batch.clear();
+                    if ring.pop_batch(&mut batch, 128) == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for v in &batch {
+                        assert_eq!(*v, expected);
+                        expected += 1;
+                    }
+                }
+                expected
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 20_000);
+        assert!(ring.is_empty());
+    }
+}

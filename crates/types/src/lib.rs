@@ -49,8 +49,10 @@ mod event;
 mod id;
 mod time;
 
+pub mod arena;
 pub mod wire;
 
+pub use arena::{ArenaStats, PayloadArena};
 pub use command::{ActuationState, Command, CommandId, CommandKind};
 pub use event::{Event, EventKind, Payload, SizeClass};
 pub use id::{ActuatorId, AppId, EventId, OperatorId, ProcessId, SensorId};

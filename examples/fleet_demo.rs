@@ -64,13 +64,15 @@ fn main() {
 
     // Standalone re-run: seed derivation is a pure function of
     // (fleet_seed, home_index), so home 17 replays bit-exactly
-    // outside the fleet.
+    // outside the fleet. The fleet keeps only bounded per-home
+    // summaries (full snapshots fold into `merged` as homes finish),
+    // so the replay is checked against the retained summary.
     let specs = manifest.expand().expect("validated at parse time");
     let member = &outcome.homes[17];
     let solo = run_home(&specs[17]);
-    assert_eq!(solo.obs.to_json(), member.obs.to_json());
+    assert_eq!(solo.summarize(), *member);
     println!(
-        "home 17 re-ran standalone: {}/{} delivered, obs snapshot bit-exact vs fleet member",
+        "home 17 re-ran standalone: {}/{} delivered, summary bit-exact vs fleet member",
         solo.delivered, solo.emitted
     );
 }

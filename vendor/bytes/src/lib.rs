@@ -4,36 +4,123 @@
 //! vendors the small slice of the `bytes` API it actually uses:
 //! [`Bytes`] (a cheaply cloneable immutable byte buffer), [`BytesMut`]
 //! (a growable buffer that freezes into `Bytes`), and the [`BufMut`]
-//! write trait. Semantics match the upstream crate for this subset;
-//! cheap cloning is provided by an `Arc` under the hood.
+//! write trait.
+//!
+//! Semantics match the upstream crate for this subset, including the
+//! parts that matter for hot-path allocation behavior:
+//!
+//! * [`BytesMut::freeze`] and [`BytesMut::split`] are **zero-copy** —
+//!   the frozen [`Bytes`] is a refcounted view into the writer's
+//!   backing buffer, not a fresh allocation.
+//! * [`BytesMut::reserve`] **reclaims** the backing buffer in place
+//!   once every frozen view has been dropped, so a pooled writer (or a
+//!   payload arena) is allocation-free in steady state.
+//! * [`BytesMut::try_reclaim`] exposes the reclaim probe so callers
+//!   can count recycles vs. fresh chunks.
+//!
+//! Internally both types share one [`Chunk`]: a raw heap region with
+//! `Arc` refcounting. All unsafe code in the workspace lives here,
+//! behind the documented invariants on [`Chunk`].
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::ptr::NonNull;
+use std::sync::{Arc, OnceLock};
+
+/// A heap region shared by frozen [`Bytes`] views and at most one
+/// [`BytesMut`] writer region per byte.
+///
+/// # Safety invariants
+///
+/// * `ptr` is the start of a heap allocation of exactly `cap` bytes
+///   obtained from a `Vec<u8>` (or `NonNull::dangling()` when
+///   `cap == 0`), deallocated exactly once in `Drop`.
+/// * Every live [`Bytes`] view covers a byte range that was fully
+///   written before the view was created and is never written again
+///   while any view over it exists — writers only touch bytes at or
+///   beyond their own `start + len` watermark, which lies past every
+///   frozen range, and in-place reclaim (which rewinds the watermark)
+///   only happens when the `Arc` refcount proves the writer is the
+///   sole owner.
+/// * Distinct writers produced by [`BytesMut::split`]/
+///   [`BytesMut::split_to`] own disjoint `[start, end)` regions, so
+///   concurrent or interleaved writes never overlap.
+struct Chunk {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: the invariants above make every cross-thread access either a
+// read of an immutable frozen range or a write to a region exclusively
+// owned by one writer.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+impl Chunk {
+    /// Allocates a chunk with at least `cap` bytes of capacity.
+    fn alloc(cap: usize) -> Arc<Chunk> {
+        let mut v = Vec::<u8>::with_capacity(cap);
+        let ptr = v.as_mut_ptr();
+        let cap = v.capacity();
+        std::mem::forget(v);
+        Arc::new(Chunk { ptr, cap })
+    }
+
+    /// Takes ownership of a `Vec`'s allocation without copying.
+    fn from_vec(mut v: Vec<u8>) -> Arc<Chunk> {
+        let ptr = v.as_mut_ptr();
+        let cap = v.capacity();
+        std::mem::forget(v);
+        Arc::new(Chunk { ptr, cap })
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: ptr/cap came from a forgotten Vec<u8>; length 0
+            // means the drop only deallocates, never reads contents.
+            unsafe { drop(Vec::from_raw_parts(self.ptr, 0, self.cap)) }
+        }
+    }
+}
+
+/// The shared zero-capacity chunk backing all empty buffers, so empty
+/// `Bytes`/`BytesMut` values never allocate.
+fn empty_chunk() -> Arc<Chunk> {
+    static EMPTY: OnceLock<Arc<Chunk>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| {
+        Arc::new(Chunk {
+            ptr: NonNull::dangling().as_ptr(),
+            cap: 0,
+        })
+    }))
+}
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// A `Bytes` is a `(backing, offset, len)` view: [`Bytes::slice_ref`]
+/// A `Bytes` is a `(chunk, offset, len)` view: [`Bytes::slice_ref`]
 /// produces sub-slices that share the backing allocation, matching the
 /// upstream crate's zero-copy slicing.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    chunk: Arc<Chunk>,
     offset: usize,
     len: usize,
 }
 
-impl Bytes {
-    fn from_arc(data: Arc<[u8]>) -> Self {
-        let len = data.len();
+impl Default for Bytes {
+    fn default() -> Self {
         Self {
-            data,
+            chunk: empty_chunk(),
             offset: 0,
-            len,
+            len: 0,
         }
     }
+}
 
+impl Bytes {
     /// Creates an empty `Bytes`.
     #[must_use]
     pub fn new() -> Self {
@@ -43,13 +130,16 @@ impl Bytes {
     /// Creates `Bytes` from a static slice.
     #[must_use]
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self::from_arc(Arc::from(bytes))
+        Self::copy_from_slice(bytes)
     }
 
     /// Creates `Bytes` by copying `data`.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self::from_arc(Arc::from(data))
+        if data.is_empty() {
+            return Self::new();
+        }
+        Self::from(data.to_vec())
     }
 
     /// Number of bytes.
@@ -68,6 +158,17 @@ impl Bytes {
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
+    }
+
+    /// Capacity of the backing allocation this view keeps alive.
+    ///
+    /// Vendored extension (upstream `bytes` has no equivalent): lets
+    /// callers detect a small view pinning a much larger buffer — e.g.
+    /// an event payload sliced out of a whole network frame — and
+    /// decide to re-home the bytes instead.
+    #[must_use]
+    pub fn backing_len(&self) -> usize {
+        self.chunk.cap
     }
 
     /// Returns a `Bytes` equivalent to the given `subset` slice,
@@ -89,7 +190,7 @@ impl Bytes {
             "subset is not contained in this Bytes"
         );
         Self {
-            data: Arc::clone(&self.data),
+            chunk: Arc::clone(&self.chunk),
             offset: self.offset + (sub - base),
             len: subset.len(),
         }
@@ -100,7 +201,10 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.offset..self.offset + self.len]
+        // SAFETY: the view covers a frozen, fully initialized range of
+        // the chunk (invariant on `Chunk`); for empty views the
+        // pointer may dangle but zero-length slices permit that.
+        unsafe { std::slice::from_raw_parts(self.chunk.ptr.add(self.offset), self.len) }
     }
 }
 
@@ -112,7 +216,15 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self::from_arc(Arc::from(v.into_boxed_slice()))
+        let len = v.len();
+        if len == 0 {
+            return Self::new();
+        }
+        Self {
+            chunk: Chunk::from_vec(v),
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -172,10 +284,31 @@ impl fmt::Debug for Bytes {
     }
 }
 
-/// A growable byte buffer that can be frozen into [`Bytes`].
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+/// A growable byte buffer that can be frozen into [`Bytes`] without
+/// copying.
+///
+/// The writer owns the exclusive `[start + len, end)` tail of its
+/// chunk; [`BytesMut::split`] and [`BytesMut::freeze`] hand out the
+/// written prefix as refcounted views and advance the watermark.
 pub struct BytesMut {
-    data: Vec<u8>,
+    chunk: Arc<Chunk>,
+    /// First byte of this writer's region within the chunk.
+    start: usize,
+    /// Bytes written so far (the region `[start, start + len)`).
+    len: usize,
+    /// Exclusive upper bound of the writable region.
+    end: usize,
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        Self {
+            chunk: empty_chunk(),
+            start: 0,
+            len: 0,
+            end: 0,
+        }
+    }
 }
 
 impl BytesMut {
@@ -188,42 +321,215 @@ impl BytesMut {
     /// Creates a buffer with `cap` bytes of capacity preallocated.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
+        if cap == 0 {
+            return Self::new();
+        }
+        let chunk = Chunk::alloc(cap);
+        let end = chunk.cap;
         Self {
-            data: Vec::with_capacity(cap),
+            chunk,
+            start: 0,
+            len: 0,
+            end,
         }
     }
 
     /// Number of bytes written.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether nothing has been written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Reserves capacity for at least `additional` more bytes.
+    /// Bytes this writer can hold without reallocating (written bytes
+    /// plus spare room).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Size of the backing allocation, independent of how much of it
+    /// this writer's region still covers. Zero only for a writer that
+    /// never allocated. Distinguishes "fully split away" (capacity 0,
+    /// backing nonzero — the chunk can be reclaimed once its views
+    /// drop) from "never allocated" for pool/arena recycling decisions.
+    #[must_use]
+    pub fn backing_capacity(&self) -> usize {
+        self.chunk.cap
+    }
+
+    fn remaining(&self) -> usize {
+        self.end - self.start - self.len
+    }
+
+    /// Whether this writer holds the only handle to its chunk (no
+    /// frozen views or sibling writers alive).
+    fn is_unique(&self) -> bool {
+        // Holding `&mut self` over the only Arc handle means no other
+        // thread can be cloning it concurrently.
+        Arc::strong_count(&self.chunk) == 1 && self.chunk.cap > 0
+    }
+
+    /// Tries to make room for `additional` more bytes **without
+    /// allocating**: returns `true` if spare capacity already suffices
+    /// or the backing chunk could be reclaimed in place (every frozen
+    /// view has been dropped and the full chunk fits the request).
+    ///
+    /// This is the explicit probe behind [`BytesMut::reserve`]'s
+    /// recycling behavior; arenas use it to count recycled vs. fresh
+    /// chunks.
+    pub fn try_reclaim(&mut self, additional: usize) -> bool {
+        // Rewind whenever we are the sole owner, not only when spare
+        // room has run out. A pooled writer alternates "frozen views
+        // alive" (mid-burst) with "sole owner" (between bursts); if the
+        // rewind only happened on capacity exhaustion, exhaustion would
+        // usually land mid-burst, fail the uniqueness check, and double
+        // the chunk — so the cursor would march through ever-colder
+        // fresh pages forever instead of reusing the warm front.
+        if self.is_unique() && self.chunk.cap - self.len >= additional {
+            if self.start > 0 {
+                // SAFETY: sole owner (refcount 1), so no view aliases
+                // the chunk; moving the written bytes to the front and
+                // rewinding the watermark invalidates nothing.
+                unsafe {
+                    std::ptr::copy(self.chunk.ptr.add(self.start), self.chunk.ptr, self.len);
+                }
+                self.start = 0;
+                self.end = self.chunk.cap;
+            }
+            return true;
+        }
+        self.remaining() >= additional
+    }
+
+    /// Reserves capacity for at least `additional` more bytes,
+    /// reclaiming the existing allocation when possible (see
+    /// [`BytesMut::try_reclaim`]) and reallocating otherwise.
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional);
+        if self.try_reclaim(additional) {
+            return;
+        }
+        let needed = self.len + additional;
+        // Grow geometrically so repeated small appends stay amortized
+        // O(1), like Vec.
+        let newcap = needed.max(self.chunk.cap.saturating_mul(2)).max(32);
+        let chunk = Chunk::alloc(newcap);
+        if self.len > 0 {
+            // SAFETY: distinct allocations; source range is this
+            // writer's initialized region.
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.chunk.ptr.add(self.start), chunk.ptr, self.len);
+            }
+        }
+        self.start = 0;
+        self.end = chunk.cap;
+        self.chunk = chunk;
+    }
+
+    fn write_bytes(&mut self, s: &[u8]) {
+        if self.remaining() < s.len() {
+            self.reserve(s.len());
+        }
+        // SAFETY: `[start + len, end)` is this writer's exclusive
+        // region and now holds at least `s.len()` spare bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                s.as_ptr(),
+                self.chunk.ptr.add(self.start + self.len),
+                s.len(),
+            );
+        }
+        self.len += s.len();
+    }
+
+    /// Appends `data`, growing if needed.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.write_bytes(data);
     }
 
     /// Removes all written bytes, returning them in a new `BytesMut`
-    /// and leaving `self` empty (the upstream split-off idiom used to
-    /// freeze a buffer's contents while keeping the handle).
+    /// and leaving `self` empty **but keeping its spare capacity** (the
+    /// upstream split-off idiom used to freeze a buffer's contents
+    /// while keeping the handle). Zero-copy: the returned buffer is a
+    /// view into the same chunk.
     #[must_use]
     pub fn split(&mut self) -> BytesMut {
-        BytesMut {
-            data: std::mem::take(&mut self.data),
-        }
+        let head = BytesMut {
+            chunk: Arc::clone(&self.chunk),
+            start: self.start,
+            len: self.len,
+            end: self.start + self.len,
+        };
+        self.start += self.len;
+        self.len = 0;
+        head
     }
 
-    /// Converts the buffer into immutable [`Bytes`].
+    /// Splits off the first `at` written bytes as their own buffer,
+    /// zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len()`.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len,
+            "split_to out of bounds: {at} > {}",
+            self.len
+        );
+        let head = BytesMut {
+            chunk: Arc::clone(&self.chunk),
+            start: self.start,
+            len: at,
+            end: self.start + at,
+        };
+        self.start += at;
+        self.len -= at;
+        head
+    }
+
+    /// Converts the buffer into immutable [`Bytes`], zero-copy.
     #[must_use]
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+        if self.len == 0 {
+            return Bytes::new();
+        }
+        Bytes {
+            chunk: Arc::clone(&self.chunk),
+            offset: self.start,
+            len: self.len,
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        let mut out = BytesMut::with_capacity(self.len);
+        out.write_bytes(self.as_ref());
+        out
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut")
+            .field("len", &self.len)
+            .field("cap", &self.capacity())
+            .finish()
     }
 }
 
@@ -231,13 +537,15 @@ impl Deref for BytesMut {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        // SAFETY: `[start, start + len)` is initialized and only
+        // writable through `&mut self`.
+        unsafe { std::slice::from_raw_parts(self.chunk.ptr.add(self.start), self.len) }
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
@@ -252,11 +560,11 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_u8(&mut self, b: u8) {
-        self.data.push(b);
+        self.write_bytes(&[b]);
     }
 
     fn put_slice(&mut self, s: &[u8]) {
-        self.data.extend_from_slice(s);
+        self.write_bytes(s);
     }
 }
 
@@ -326,5 +634,122 @@ mod tests {
         assert!(w.is_empty());
         w.put_u8(b'z');
         assert_eq!(w.split().freeze(), &b"z"[..]);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"payload");
+        let written_ptr = w.as_ref().as_ptr();
+        let frozen = w.split().freeze();
+        assert_eq!(
+            frozen.as_ref().as_ptr(),
+            written_ptr,
+            "freeze must not copy"
+        );
+        // The writer keeps the same chunk's spare capacity.
+        w.put_slice(b"next");
+        assert_eq!(
+            w.as_ref().as_ptr() as usize,
+            written_ptr as usize + frozen.len(),
+            "writer continues in the same chunk"
+        );
+    }
+
+    #[test]
+    fn reserve_reclaims_after_views_drop() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_slice(b"one");
+        let base = w.as_ref().as_ptr();
+        let a = w.split().freeze();
+        drop(a);
+        // All views dropped: reclaim must reuse the same allocation.
+        assert!(w.try_reclaim(32));
+        w.put_slice(b"two");
+        assert_eq!(w.as_ref().as_ptr(), base, "allocation was recycled");
+    }
+
+    #[test]
+    fn try_reclaim_fails_while_views_alive() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_slice(b"AAAAAAAA");
+        let view = w.split().freeze();
+        assert!(!w.try_reclaim(8), "view still pins the chunk");
+        // Growth falls back to a fresh chunk and the view is unharmed.
+        w.put_slice(b"BBBBBBBB");
+        assert_eq!(view, &b"AAAAAAAA"[..]);
+        assert_eq!(w.as_ref(), b"BBBBBBBB");
+        drop(view);
+        assert!(w.try_reclaim(1));
+    }
+
+    #[test]
+    fn split_to_partitions_written_bytes() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_slice(b"headbody");
+        let head = w.split_to(4);
+        assert_eq!(head.as_ref(), b"head");
+        assert_eq!(w.as_ref(), b"body");
+        // The split-off child reallocates rather than clobbering its
+        // sibling when grown.
+        let mut head = head;
+        head.put_slice(b"XY");
+        assert_eq!(head.as_ref(), b"headXY");
+        assert_eq!(w.as_ref(), b"body");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 100];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec> must not copy");
+        assert_eq!(b.len(), 100);
+        assert!(b.backing_len() >= 100);
+    }
+
+    #[test]
+    fn backing_len_sees_pinned_allocation() {
+        let frame = Bytes::from(vec![1u8; 256]);
+        let view = frame.slice_ref(&frame[10..14]);
+        assert_eq!(view.len(), 4);
+        assert_eq!(view.backing_len(), frame.backing_len());
+        assert!(view.backing_len() >= 256);
+    }
+
+    #[test]
+    fn views_survive_cross_thread_hand_off() {
+        let mut w = BytesMut::with_capacity(1024);
+        let mut views = Vec::new();
+        for i in 0..8u8 {
+            w.put_slice(&[i; 16]);
+            views.push(w.split().freeze());
+        }
+        let handles: Vec<_> = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| std::thread::spawn(move || v == [i as u8; 16].as_slice()))
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_values_share_no_allocation() {
+        let a = Bytes::new();
+        let b = BytesMut::new().freeze();
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(a.backing_len(), 0);
+    }
+
+    #[test]
+    fn bytesmut_clone_is_deep() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_slice(b"abc");
+        let c = w.clone();
+        assert_eq!(w, c);
+        assert_ne!(w.as_ref().as_ptr(), c.as_ref().as_ptr());
     }
 }
