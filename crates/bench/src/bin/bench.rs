@@ -39,7 +39,51 @@
 use rivulet_bench::fanout::{
     run_micro, run_sim_twin, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
 };
+use rivulet_bench::fault::{correctness_table, render_json, render_table};
 use rivulet_bench::tables::render_fanout_table;
+use rivulet_types::Duration;
+
+/// Runs the correctness-vs-fault-rate sweep, prints the table, writes
+/// `out_path`, and asserts the self-healing floor: repair-on must be
+/// at least as correct as repair-off on every row, and strictly better
+/// for at least three fault kinds at the highest rate.
+fn fault_table(out_path: &str, quick: bool) {
+    let rates = if quick {
+        vec![0.25, 0.5]
+    } else {
+        vec![0.1, 0.25, 0.5]
+    };
+    let duration = Duration::from_secs(if quick { 120 } else { 240 });
+    let rows = correctness_table(&rates, duration, 42);
+    print!("{}", render_table(&rows));
+    let top_rate = *rates.last().expect("non-empty rates");
+    let mut strictly_better = std::collections::BTreeSet::new();
+    for r in &rows {
+        assert!(
+            r.on.correctness() >= r.off.correctness(),
+            "repair made {} at rate {:.2} worse: on {:.4} < off {:.4}",
+            r.kind.name(),
+            r.rate,
+            r.on.correctness(),
+            r.off.correctness()
+        );
+        if r.rate == top_rate && r.on.correctness() > r.off.correctness() {
+            strictly_better.insert(r.kind.name());
+        }
+    }
+    assert!(
+        strictly_better.len() >= 3,
+        "repair strictly improved only {:?} at rate {top_rate:.2}; need >= 3 fault kinds",
+        strictly_better
+    );
+    println!(
+        "fault gate: repair-on >= repair-off on all {} rows; strictly better for {:?} at rate {top_rate:.2}",
+        rows.len(),
+        strictly_better
+    );
+    std::fs::write(out_path, render_json(&rows)).expect("write BENCH_fault.json");
+    println!("wrote {out_path}");
+}
 
 fn json_f(v: f64) -> String {
     if v.is_finite() {
@@ -222,6 +266,18 @@ fn main() {
     if let Some(fresh) = &fleet_fresh {
         fleet_gate(fresh, fleet_baseline.as_deref(), tolerance);
         if args.iter().any(|a| a == "--fleet-only") {
+            return;
+        }
+    }
+    if args.iter().any(|a| a == "--fault-table") {
+        let fault_out = args
+            .iter()
+            .position(|a| a == "--fault-out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fault.json".to_owned());
+        fault_table(&fault_out, quick);
+        if args.iter().any(|a| a == "--fault-only") {
             return;
         }
     }

@@ -15,6 +15,7 @@ use rivulet_core::delivery::Delivery;
 use rivulet_core::deploy::{Home, HomeBuilder};
 use rivulet_core::probe::{AppProbe, DeliveryRecord};
 use rivulet_core::RivuletConfig;
+use rivulet_devices::fault::{FaultKind, FaultPlan, FaultSpec};
 use rivulet_devices::sensor::{EmissionProbe, EmissionSchedule, PayloadSpec};
 use rivulet_net::metrics::FanoutSnapshot;
 use rivulet_net::sim::{SimConfig, SimNet};
@@ -85,6 +86,14 @@ pub struct DeliveryScenario {
     /// Attach per-process durable storage (an in-memory simulated
     /// backend), exercising the WAL append/flush/recovery path.
     pub durable: bool,
+    /// Device fault injected into the sensor, if any (with
+    /// [`DeliveryScenario::fault_rate`] > 0). The fault plan derives
+    /// from the run seed, so injection is reproducible per home.
+    pub fault_kind: Option<FaultKind>,
+    /// Per-attempt (or per-window) rate of the injected fault.
+    pub fault_rate: f64,
+    /// Enable the platform's device-fault repair layer.
+    pub repair: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -112,6 +121,9 @@ impl DeliveryScenario {
             wal_adaptive: true,
             obs: false,
             durable: false,
+            fault_kind: None,
+            fault_rate: 0.0,
+            repair: false,
             seed: 42,
         }
     }
@@ -185,8 +197,18 @@ pub fn run_delivery_with_probes(
         .with_ack_mode(cfg.ack_mode)
         .with_exec_ring(cfg.exec_ring)
         .with_payload_arena(cfg.payload_arena)
-        .with_wal_adaptive_gating(cfg.wal_adaptive);
+        .with_wal_adaptive_gating(cfg.wal_adaptive)
+        .with_repair(cfg.repair);
     let mut home = HomeBuilder::new(&mut net).with_config(config);
+    if let Some(kind) = cfg.fault_kind {
+        if cfg.fault_rate > 0.0 {
+            // The sensor declared below is always SensorId(0).
+            home = home.with_faults(FaultPlan::new(cfg.seed).sensor(
+                rivulet_types::SensorId(0),
+                FaultSpec::new(kind, cfg.fault_rate),
+            ));
+        }
+    }
     if cfg.durable {
         let seed = cfg.seed;
         home = home.with_storage(

@@ -17,12 +17,14 @@
 //! | [`fig8`] | Fig. 8 — coordinated vs uncoordinated polling overhead |
 //! | [`tables`] | Tables 1 and 3 — app and sensor surveys |
 //! | [`fanout`] | encode-once fan-out + frame coalescing throughput (`BENCH_fanout.json`) |
+//! | [`fault`] | correctness vs device-fault rate, repair off/on (`BENCH_fault.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod fanout;
+pub mod fault;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;

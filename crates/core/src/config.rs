@@ -109,6 +109,25 @@ pub struct RivuletConfig {
     /// payload arena recycled on watermark retirement. Disable to
     /// measure the frame-pinning baseline.
     pub payload_arena: bool,
+    /// Master switch for the device-fault detection + repair layer
+    /// (per-sensor health models, outlier substitution, quarantine,
+    /// stall re-polls). **Off by default**: with repair disabled the
+    /// runtime allocates no health state and writes no `repair.*`
+    /// counters, and runs are bit-identical to pre-repair builds.
+    pub repair: bool,
+    /// Exact-repeat run length after which a scalar sensor is judged
+    /// stuck and its readings become untrusted.
+    pub repair_stuck_run: u32,
+    /// Absolute disagreement from the healthy-peer midpoint
+    /// (Marzullo) beyond which a reading is an outlier and is
+    /// substituted/dropped.
+    pub repair_disagreement: f64,
+    /// Outliers tolerated from one sensor before it is quarantined
+    /// (all further events from it are dropped at delivery).
+    pub repair_outlier_quarantine: u32,
+    /// Silence threshold after which a *pollable* sensor is considered
+    /// stalled and re-polled through the polling service.
+    pub repair_stall_timeout: Duration,
 }
 
 impl Default for RivuletConfig {
@@ -130,6 +149,11 @@ impl Default for RivuletConfig {
             exec_ring: true,
             exec_ring_capacity: 1024,
             payload_arena: true,
+            repair: false,
+            repair_stuck_run: 6,
+            repair_disagreement: 4.0,
+            repair_outlier_quarantine: 10,
+            repair_stall_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -235,6 +259,49 @@ impl RivuletConfig {
         self.payload_arena = enabled;
         self
     }
+
+    /// Returns a config with the fault detection + repair layer
+    /// enabled or disabled.
+    #[must_use]
+    pub fn with_repair(mut self, enabled: bool) -> Self {
+        self.repair = enabled;
+        self
+    }
+
+    /// Returns a config with the stuck-run detection length replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is < 2 (a single repeat is normal behaviour).
+    #[must_use]
+    pub fn with_repair_stuck_run(mut self, run: u32) -> Self {
+        assert!(run >= 2, "stuck run must be at least 2");
+        self.repair_stuck_run = run;
+        self
+    }
+
+    /// Returns a config with the outlier disagreement threshold
+    /// replaced.
+    #[must_use]
+    pub fn with_repair_disagreement(mut self, threshold: f64) -> Self {
+        self.repair_disagreement = threshold;
+        self
+    }
+
+    /// Returns a config with the quarantine outlier budget replaced.
+    #[must_use]
+    pub fn with_repair_outlier_quarantine(mut self, outliers: u32) -> Self {
+        self.repair_outlier_quarantine = outliers;
+        self
+    }
+
+    /// Returns a config with the sensor-stall re-poll threshold
+    /// replaced.
+    #[must_use]
+    pub fn with_repair_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.repair_stall_timeout = timeout;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +322,32 @@ mod tests {
         assert!(c.exec_ring, "exec ring on by default");
         assert!(c.exec_ring_capacity > 0);
         assert!(c.payload_arena, "payload arena on by default");
+        assert!(!c.repair, "repair layer is opt-in");
+        assert!(c.repair_stuck_run >= 2);
+        assert!(c.repair_disagreement > 0.0);
+        assert!(c.repair_outlier_quarantine > 0);
+        assert!(c.repair_stall_timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn repair_builders() {
+        let c = RivuletConfig::default()
+            .with_repair(true)
+            .with_repair_stuck_run(4)
+            .with_repair_disagreement(2.5)
+            .with_repair_outlier_quarantine(3)
+            .with_repair_stall_timeout(Duration::from_secs(1));
+        assert!(c.repair);
+        assert_eq!(c.repair_stuck_run, 4);
+        assert!((c.repair_disagreement - 2.5).abs() < f64::EPSILON);
+        assert_eq!(c.repair_outlier_quarantine, 3);
+        assert_eq!(c.repair_stall_timeout, Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck run must be at least 2")]
+    fn tiny_stuck_run_panics() {
+        let _ = RivuletConfig::default().with_repair_stuck_run(1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::sync::{Arc, OnceLock};
 
 use rivulet_devices::actuator::{ActuatorDevice, ActuatorProbe};
+use rivulet_devices::fault::{FaultPlan, FaultProbe};
 use rivulet_devices::sensor::{
     EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor,
 };
@@ -267,6 +268,8 @@ pub struct HomeBuilder<'a, D: Driver> {
     probes: Arc<ProbeRegistry>,
     storage: Option<StoragePlan>,
     store_probe: Option<Arc<StoreProbe>>,
+    faults: Option<FaultPlan>,
+    fault_probe: Arc<FaultProbe>,
 }
 
 impl<D: Driver> std::fmt::Debug for HomeBuilder<'_, D> {
@@ -293,7 +296,30 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
             probes: ProbeRegistry::new(),
             storage: None,
             store_probe: None,
+            faults: None,
+            fault_probe: FaultProbe::new(),
         }
+    }
+
+    /// Attaches a device-fault plan: every declared device picks up its
+    /// schedule from the plan (devices the plan doesn't name stay
+    /// fault-free), and all injected faults are logged to the home's
+    /// shared [`FaultProbe`] (see [`HomeBuilder::fault_probe`]).
+    /// Injection is reproducible bit-exactly from `(plan seed,
+    /// device id)` and never perturbs the drivers' RNG streams.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The home-wide fault probe: ground truth for every injected
+    /// fault ([`FaultProbe::ghosts`] / suppressed / corrupted ids).
+    /// Event ids recorded in it carry the sensor, so per-device
+    /// attribution survives the sharing.
+    #[must_use]
+    pub fn fault_probe(&self) -> Arc<FaultProbe> {
+        Arc::clone(&self.fault_probe)
     }
 
     /// Replaces the platform configuration used by every process.
@@ -466,6 +492,8 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
         };
         let mut sensor_entries = Vec::new();
         let mut sensor_actors = Vec::new();
+        let faults = self.faults;
+        let fault_probe = self.fault_probe;
         for (i, decl) in self.sensors.into_iter().enumerate() {
             let id = SensorId(i as u32);
             match decl {
@@ -477,6 +505,9 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                     probe,
                 } => {
                     let targets: Vec<ActorId> = reachers.iter().map(|p| actor_of(*p)).collect();
+                    let plan = faults.clone();
+                    let fprobe = Arc::clone(&fault_probe);
+                    let fobs = obs.clone();
                     let actor = self.driver.add_boxed_actor(
                         &name,
                         ActorClass::Device,
@@ -484,16 +515,21 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                             // A recovered sensor resumes numbering
                             // after everything it already emitted.
                             let start_seq = probe.emitted();
-                            Box::new(
-                                PushSensor::new(
-                                    id,
-                                    payload.clone(),
-                                    schedule.clone(),
-                                    targets.clone(),
-                                    Arc::clone(&probe),
-                                )
-                                .with_start_seq(start_seq),
+                            let mut sensor = PushSensor::new(
+                                id,
+                                payload.clone(),
+                                schedule.clone(),
+                                targets.clone(),
+                                Arc::clone(&probe),
                             )
+                            .with_start_seq(start_seq);
+                            if let Some(plan) = &plan {
+                                sensor = sensor
+                                    .with_faults(plan.for_sensor(id))
+                                    .with_fault_probe(Arc::clone(&fprobe))
+                                    .with_obs(fobs.clone());
+                            }
+                            Box::new(sensor)
                         }),
                     );
                     sensor_entries.push(SensorEntry {
@@ -511,20 +547,28 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                     reachers,
                     probe,
                 } => {
+                    let plan = faults.clone();
+                    let fprobe = Arc::clone(&fault_probe);
+                    let fobs = obs.clone();
                     let actor = self.driver.add_boxed_actor(
                         &name,
                         ActorClass::Device,
                         Box::new(move || {
                             let start_seq = probe.answered();
-                            Box::new(
-                                PollSensor::new(
-                                    id,
-                                    value.clone(),
-                                    poll_latency,
-                                    Arc::clone(&probe),
-                                )
-                                .with_start_seq(start_seq),
+                            let mut sensor = PollSensor::new(
+                                id,
+                                value.clone(),
+                                poll_latency,
+                                Arc::clone(&probe),
                             )
+                            .with_start_seq(start_seq);
+                            if let Some(plan) = &plan {
+                                sensor = sensor
+                                    .with_faults(plan.for_sensor(id))
+                                    .with_fault_probe(Arc::clone(&fprobe))
+                                    .with_obs(fobs.clone());
+                            }
+                            Box::new(sensor)
                         }),
                     );
                     sensor_entries.push(SensorEntry {
@@ -548,10 +592,22 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                 reachers,
                 probe,
             } = decl;
+            let plan = faults.clone();
+            let fprobe = Arc::clone(&fault_probe);
+            let fobs = obs.clone();
             let actor = self.driver.add_boxed_actor(
                 &name,
                 ActorClass::Device,
-                Box::new(move || Box::new(ActuatorDevice::new(id, initial, Arc::clone(&probe)))),
+                Box::new(move || {
+                    let mut dev = ActuatorDevice::new(id, initial, Arc::clone(&probe));
+                    if let Some(plan) = &plan {
+                        dev = dev
+                            .with_faults(plan.for_actuator(id))
+                            .with_fault_probe(Arc::clone(&fprobe))
+                            .with_obs(fobs.clone());
+                    }
+                    Box::new(dev)
+                }),
             );
             actuator_entries.push(ActuatorEntry {
                 id,

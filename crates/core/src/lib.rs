@@ -82,6 +82,7 @@ pub mod membership;
 pub mod messages;
 pub mod probe;
 pub mod process;
+pub mod repair;
 pub mod store;
 
 pub use config::{ForwardingMode, RivuletConfig};

@@ -25,7 +25,7 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// One event processed by an active logic node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveryRecord {
     /// When the logic node processed the event.
     pub at: Time,
@@ -36,6 +36,11 @@ pub struct DeliveryRecord {
     /// When the sensor emitted it (delay = `at - emitted_at`, the
     /// Fig. 4 metric).
     pub emitted_at: Time,
+    /// Scalar payload as the app saw it (after any repair-layer
+    /// substitution), `None` for kind-only and blob events. The
+    /// fault-suite correctness metric compares this against the
+    /// sensor's ground-truth value model.
+    pub value: Option<f64>,
 }
 
 impl DeliveryRecord {
@@ -249,6 +254,7 @@ mod tests {
             by: ProcessId(0),
             event: EventId::new(SensorId(1), seq),
             emitted_at: Time::from_millis(emitted_ms),
+            value: None,
         }
     }
 

@@ -45,6 +45,7 @@ use crate::gating::{AdaptiveGate, GatedQueue};
 use crate::membership::Membership;
 use crate::messages::{Frame, ProcMsg};
 use crate::probe::{AppProbe, DeliveryRecord, StoreProbe};
+use crate::repair::{HealthModel, RepairCounts, RepairVerdict};
 use rivulet_storage::{Checkpoint, FlushPolicy, StorageBackend, Wal, WalOptions};
 
 const TOKEN_INIT_RETRY: u64 = 0;
@@ -194,6 +195,12 @@ struct Initialized {
     /// Per-activation send queue, flushed (and coalesced) at the end of
     /// every actor activation.
     outbox: Outbox,
+    /// Device-fault health model; `None` unless
+    /// [`RivuletConfig::repair`] is on, in which case delivered
+    /// readings are health-checked (stuck/outlier detection,
+    /// peer-midpoint substitution, quarantine) and stalled pollable
+    /// sensors are re-polled from the tick.
+    repair: Option<HealthModel>,
 }
 
 /// Hot-path ring counters, exported to the recorder as deltas on
@@ -205,6 +212,31 @@ struct RingCounts {
     pops: u64,
     batches: u64,
     fallbacks: u64,
+}
+
+/// Folds a repair-counter delta into the recorder. A clean delta (the
+/// overwhelmingly common case) writes nothing, so healthy homes pay
+/// one comparison per delivery and the obs snapshot carries no
+/// `repair.*` keys at all when the layer never acted.
+fn record_repair_counts(obs: &Recorder, counts: RepairCounts) {
+    if counts == RepairCounts::default() {
+        return;
+    }
+    if counts.substitutions > 0 {
+        obs.add("repair.substitutions", counts.substitutions);
+    }
+    if counts.outlier_drops > 0 {
+        obs.add("repair.outlier_drops", counts.outlier_drops);
+    }
+    if counts.quarantines > 0 {
+        obs.add("repair.quarantines", counts.quarantines);
+    }
+    if counts.quarantined_drops > 0 {
+        obs.add("repair.quarantined_drops", counts.quarantined_drops);
+    }
+    if counts.stuck_flagged > 0 {
+        obs.add("repair.stuck_flagged", counts.stuck_flagged);
+    }
 }
 
 /// Whether two part lists are clones of the same encodings: pointer
@@ -475,6 +507,11 @@ impl RivuletProcess {
                 pool: WriterPool::new(),
                 stats: Arc::clone(&self.spec.fanout),
             },
+            repair: self.spec.config.repair.then(|| {
+                let specs: Vec<Arc<AppSpec>> =
+                    self.spec.apps.iter().map(|(s, _)| Arc::clone(s)).collect();
+                HealthModel::from_apps(&self.spec.config, &specs)
+            }),
         });
 
         self.spec
@@ -642,7 +679,38 @@ impl RivuletProcess {
         // one keep-alive period.
         self.flush_wal(ctx);
         self.election(ctx);
+        self.repair_tick(ctx);
         ctx.set_timer(self.spec.config.keepalive_interval, TOKEN_TICK);
+    }
+
+    /// Repair-layer stall check, ridden on the periodic tick: pollable
+    /// sensors this process coordinates that have been silent past the
+    /// stall timeout get an immediate out-of-band re-poll (rate-limited
+    /// to one per timeout by the health model). No-op unless
+    /// [`RivuletConfig::repair`] is on.
+    fn repair_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let stalled: Vec<SensorId> = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(health) = st.repair.as_mut() else {
+                return;
+            };
+            let mut pollable: Vec<SensorId> = st
+                .sensors
+                .iter()
+                .filter(|(_, rt)| rt.poll.as_ref().is_some_and(|p| p.participates))
+                .map(|(id, _)| *id)
+                .collect();
+            pollable.sort_unstable();
+            pollable
+                .into_iter()
+                .filter(|s| health.check_stall(*s, now))
+                .collect()
+        };
+        for sensor in stalled {
+            self.spec.obs.inc("repair.repolls");
+            self.send_poll(ctx, sensor);
+        }
     }
 
     /// Re-evaluates the election for every app, handling promotion
@@ -757,6 +825,34 @@ impl RivuletProcess {
     fn process_at_app(&mut self, ctx: &mut Context<'_>, app_idx: usize, event: &Event) {
         let now = ctx.now();
         let me = self.me();
+        // Repair layer: health-check the reading before any app sees
+        // it. The verdict is cached per event id, so routing the same
+        // event to several apps (or replaying it after a promotion)
+        // consults the detectors exactly once.
+        let mut substituted: Option<Event> = None;
+        {
+            let st = self.st.as_mut().expect("initialized");
+            if let Some(health) = st.repair.as_mut() {
+                let verdict = health.observe(now, event);
+                let counts = health.take_counts();
+                record_repair_counts(&self.spec.obs, counts);
+                match verdict {
+                    RepairVerdict::Accept => {}
+                    RepairVerdict::Substitute(value) => {
+                        substituted = Some(HealthModel::substituted(event, value));
+                    }
+                    RepairVerdict::DropOutlier | RepairVerdict::DropQuarantined => {
+                        // The platform consumed the event even though
+                        // no app will: advance the watermark so the
+                        // drop is not replayed forever.
+                        let mark = st.processed.entry(event.id.sensor).or_insert(0);
+                        *mark = (*mark).max(event.id.seq);
+                        return;
+                    }
+                }
+            }
+        }
+        let event = substituted.as_ref().unwrap_or(event);
         let outputs = {
             let st = self.st.as_mut().expect("initialized");
             let app = &mut st.apps[app_idx];
@@ -771,6 +867,7 @@ impl RivuletProcess {
                 by: me,
                 event: event.id,
                 emitted_at: event.emitted_at,
+                value: event.payload.as_scalar(),
             });
             self.spec.obs.inc("app.deliveries");
             self.spec.obs.event(

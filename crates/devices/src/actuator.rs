@@ -12,9 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rivulet_net::actor::{Actor, ActorEvent, Context};
+use rivulet_obs::Recorder;
 use rivulet_types::wire::Wire;
 use rivulet_types::{ActuationState, ActuatorId, CommandId, CommandKind, Time};
 
+use crate::fault::{DeviceFaults, FaultKind, FaultProbe};
 use crate::frame::RadioFrame;
 
 /// Ground truth about an actuator's behaviour, shared with the harness.
@@ -84,6 +86,14 @@ pub struct ActuatorDevice {
     state: ActuationState,
     probe: Arc<ActuatorProbe>,
     applied_ids: Vec<CommandId>,
+    /// Seeded fault schedule, if a [`crate::fault::FaultPlan`] names
+    /// this actuator. `Missed` drops commands before they are seen;
+    /// `StuckAt` acks them without applying.
+    faults: Option<DeviceFaults>,
+    /// Ground-truth record of injected faults.
+    fault_probe: Option<Arc<FaultProbe>>,
+    /// `fault.*` counters (disabled recorder by default).
+    obs: Recorder,
 }
 
 impl ActuatorDevice {
@@ -95,6 +105,9 @@ impl ActuatorDevice {
             state: initial,
             probe,
             applied_ids: Vec::new(),
+            faults: None,
+            fault_probe: None,
+            obs: Recorder::new(),
         }
     }
 
@@ -102,6 +115,27 @@ impl ActuatorDevice {
     #[must_use]
     pub fn actuator_id(&self) -> ActuatorId {
         self.actuator
+    }
+
+    /// Attaches a seeded fault schedule (see [`crate::fault`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<DeviceFaults>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a ground-truth fault probe.
+    #[must_use]
+    pub fn with_fault_probe(mut self, probe: Arc<FaultProbe>) -> Self {
+        self.fault_probe = Some(probe);
+        self
+    }
+
+    /// Attaches an obs recorder for `fault.*` counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn states_equal(a: ActuationState, b: ActuationState) -> bool {
@@ -125,10 +159,33 @@ impl Actor for ActuatorDevice {
         if cmd.actuator != self.actuator {
             return;
         }
+        let decision = match self.faults.as_mut() {
+            Some(f) => f.decide_next(),
+            None => crate::fault::FaultDecision::default(),
+        };
+        if decision.suppress.is_some() {
+            // The command is lost at the radio: no ack, no state
+            // change, the issuer sees a timeout.
+            self.obs.inc("fault.actuation_dropped");
+            if let Some(p) = &self.fault_probe {
+                p.record_command_dropped();
+            }
+            return;
+        }
         self.probe.commands_received.fetch_add(1, Ordering::SeqCst);
+        let stuck = decision.corrupt == Some(FaultKind::StuckAt);
 
         let already_applied = self.applied_ids.contains(&cmd.id);
-        let applied = if already_applied {
+        let applied = if stuck && !already_applied {
+            // Mechanically stuck: the actuator hears the command but
+            // cannot move. It honestly acks `applied = false` with its
+            // real (unchanged) state.
+            self.obs.inc("fault.actuation_refused");
+            if let Some(p) = &self.fault_probe {
+                p.record_command_refused();
+            }
+            false
+        } else if already_applied {
             self.probe
                 .duplicates_suppressed
                 .fetch_add(1, Ordering::SeqCst);

@@ -14,6 +14,9 @@
 //!   Fig. 8).
 //! * [`actuator`] — idempotent and `Test&Set` actuators (§5), with
 //!   duplicate-actuation detection for experiments.
+//! * [`fault`] — seeded per-device fault schedules (stuck-at,
+//!   flapping, drift, ghost, missed, battery decay) whose every
+//!   decision is a pure function of `(seed, device id, attempt)`.
 //! * [`radio`] — low-power radio technology models (range, multicast)
 //!   and a 2-D home floor plan for computing which processes are in
 //!   range of which devices (§2.1).
@@ -32,12 +35,14 @@
 
 pub mod actuator;
 pub mod catalog;
+pub mod fault;
 pub mod frame;
 pub mod radio;
 pub mod sensor;
 pub mod value;
 
 pub use actuator::{ActuatorDevice, ActuatorProbe};
+pub use fault::{DeviceFaults, FaultDecision, FaultKind, FaultPlan, FaultProbe, FaultSpec};
 pub use frame::RadioFrame;
 pub use radio::{FloorPlan, Position, RadioTech};
 pub use sensor::{EmissionProbe, EmissionSchedule, PayloadSpec, PollProbe, PollSensor, PushSensor};

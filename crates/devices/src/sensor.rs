@@ -17,9 +17,11 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 use rand::Rng;
 use rivulet_net::actor::{Actor, ActorEvent, ActorId, Context};
+use rivulet_obs::Recorder;
 use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{Duration, Event, EventId, EventKind, Payload, SensorId, Time};
 
+use crate::fault::{DeviceFaults, FaultProbe};
 use crate::frame::RadioFrame;
 use crate::value::ValueModel;
 
@@ -145,6 +147,14 @@ pub struct PushSensor {
     pool: WriterPool,
     /// Shared zero-blob payload for `PayloadSpec::Blob` emissions.
     blob_cache: Option<Bytes>,
+    /// Seeded fault schedule, if a [`crate::fault::FaultPlan`] names
+    /// this sensor. Consults pure hash streams only — never the driver
+    /// RNG — so attaching a rate-0 plan perturbs nothing.
+    faults: Option<DeviceFaults>,
+    /// Ground-truth record of injected faults, for harnesses.
+    fault_probe: Option<Arc<FaultProbe>>,
+    /// `fault.*` counters (disabled recorder by default).
+    obs: Recorder,
 }
 
 impl PushSensor {
@@ -173,6 +183,9 @@ impl PushSensor {
             script_idx: 0,
             pool: WriterPool::new(),
             blob_cache: None,
+            faults: None,
+            fault_probe: None,
+            obs: Recorder::new(),
         }
     }
 
@@ -188,6 +201,27 @@ impl PushSensor {
     #[must_use]
     pub fn with_start_seq(mut self, seq: u64) -> Self {
         self.next_seq = seq;
+        self
+    }
+
+    /// Attaches a seeded fault schedule (see [`crate::fault`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<DeviceFaults>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a ground-truth fault probe.
+    #[must_use]
+    pub fn with_fault_probe(mut self, probe: Arc<FaultProbe>) -> Self {
+        self.fault_probe = Some(probe);
+        self
+    }
+
+    /// Attaches an obs recorder for `fault.*` counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -210,16 +244,78 @@ impl PushSensor {
     }
 
     fn emit(&mut self, ctx: &mut Context<'_>) {
+        let decision = match self.faults.as_mut() {
+            Some(f) => f.decide_next(),
+            None => crate::fault::FaultDecision::default(),
+        };
+        if let Some(cause) = decision.suppress {
+            // Missed event / battery skip: the emission never happens,
+            // no sequence number is consumed, the emission probe does
+            // not see it (the phenomenon occurred but the radio never
+            // carried it).
+            self.obs.inc(cause.counter_name());
+            if let Some(p) = &self.fault_probe {
+                p.record_suppressed(cause);
+            }
+            return;
+        }
         let id = EventId::new(self.sensor, self.next_seq);
         self.next_seq += 1;
         let now = ctx.now();
         let (kind, payload) = self
             .payload
             .materialize(now, ctx.rng(), &mut self.blob_cache);
+        let payload = match (decision.corrupt, payload) {
+            (Some(ckind), Payload::Scalar(v)) => {
+                let f = self.faults.as_mut().expect("corrupt implies faults");
+                let (cv, altered) = f.corrupt_value(v);
+                if altered {
+                    self.obs.inc(ckind.counter_name());
+                    if let Some(p) = &self.fault_probe {
+                        p.record_corrupted(id);
+                    }
+                }
+                Payload::Scalar(cv)
+            }
+            (_, payload) => payload,
+        };
         let event = Event::with_payload(id, kind, payload, now);
         self.probe.record(now, id);
         // Encode once into a pooled buffer; every target gets a cheap
         // clone of the same frozen frame.
+        let frame = self.pool.encode(&RadioFrame::Event(event));
+        for target in &self.targets {
+            ctx.send(*target, frame.clone());
+        }
+        if decision.ghost {
+            self.emit_ghost(ctx, now);
+        }
+    }
+
+    /// Emits a spurious extra event right after a real one. The ghost
+    /// consumes a sequence number and is recorded in the emission probe
+    /// (it really went over the radio); its id is additionally logged
+    /// in the fault probe so harnesses can score it as incorrect. Its
+    /// value comes purely from the fault stream, never the driver RNG.
+    fn emit_ghost(&mut self, ctx: &mut Context<'_>, now: Time) {
+        let id = EventId::new(self.sensor, self.next_seq);
+        self.next_seq += 1;
+        let (kind, payload) = match &self.payload {
+            PayloadSpec::Scalar(_) => {
+                let f = self.faults.as_ref().expect("ghost implies faults");
+                (EventKind::Reading, Payload::Scalar(f.ghost_value()))
+            }
+            // KindOnly and Blob materialization never touches the RNG.
+            _ => self
+                .payload
+                .materialize(now, ctx.rng(), &mut self.blob_cache),
+        };
+        let event = Event::with_payload(id, kind, payload, now);
+        self.probe.record(now, id);
+        self.obs.inc("fault.ghost");
+        if let Some(p) = &self.fault_probe {
+            p.record_ghost(id);
+        }
         let frame = self.pool.encode(&RadioFrame::Event(event));
         for target in &self.targets {
             ctx.send(*target, frame.clone());
@@ -299,6 +395,12 @@ pub struct PollSensor {
     next_seq: u64,
     /// Pooled encode buffers for poll answers.
     pool: WriterPool,
+    /// Seeded fault schedule, if a plan names this sensor.
+    faults: Option<DeviceFaults>,
+    /// Ground-truth record of injected faults.
+    fault_probe: Option<Arc<FaultProbe>>,
+    /// `fault.*` counters (disabled recorder by default).
+    obs: Recorder,
 }
 
 impl PollSensor {
@@ -318,6 +420,9 @@ impl PollSensor {
             busy_with: None,
             next_seq: 0,
             pool: WriterPool::new(),
+            faults: None,
+            fault_probe: None,
+            obs: Recorder::new(),
         }
     }
 
@@ -332,6 +437,27 @@ impl PollSensor {
     #[must_use]
     pub fn with_start_seq(mut self, seq: u64) -> Self {
         self.next_seq = seq;
+        self
+    }
+
+    /// Attaches a seeded fault schedule (see [`crate::fault`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<DeviceFaults>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a ground-truth fault probe.
+    #[must_use]
+    pub fn with_fault_probe(mut self, probe: Arc<FaultProbe>) -> Self {
+        self.fault_probe = Some(probe);
+        self
+    }
+
+    /// Attaches an obs recorder for `fault.*` counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -366,10 +492,35 @@ impl Actor for PollSensor {
                 let Some((requester, epoch)) = self.busy_with.take() else {
                     return;
                 };
+                let decision = match self.faults.as_mut() {
+                    Some(f) => f.decide_next(),
+                    None => crate::fault::FaultDecision::default(),
+                };
+                if let Some(cause) = decision.suppress {
+                    // The answer is silently lost: the epoch goes
+                    // unserved and the platform's re-poll machinery
+                    // (or the repair layer) must recover it.
+                    self.obs.inc(cause.counter_name());
+                    if let Some(p) = &self.fault_probe {
+                        p.record_suppressed(cause);
+                    }
+                    return;
+                }
                 let now = ctx.now();
-                let value = self.value.sample(now, ctx.rng());
+                let mut value = self.value.sample(now, ctx.rng());
                 let id = EventId::new(self.sensor, self.next_seq);
                 self.next_seq += 1;
+                if let Some(ckind) = decision.corrupt {
+                    let f = self.faults.as_mut().expect("corrupt implies faults");
+                    let (cv, altered) = f.corrupt_value(value);
+                    if altered {
+                        self.obs.inc(ckind.counter_name());
+                        if let Some(p) = &self.fault_probe {
+                            p.record_corrupted(id);
+                        }
+                    }
+                    value = cv;
+                }
                 let event =
                     Event::with_payload(id, EventKind::Reading, Payload::Scalar(value), now)
                         .in_epoch(epoch);

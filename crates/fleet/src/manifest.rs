@@ -15,6 +15,7 @@ use std::fmt;
 use rivulet_bench::common::DeliveryScenario;
 use rivulet_core::config::{AckMode, ForwardingMode};
 use rivulet_core::delivery::Delivery;
+use rivulet_devices::fault::FaultKind;
 use rivulet_types::{Duration, Time};
 
 use crate::value::{parse, Document, ParseError, Value};
@@ -74,6 +75,14 @@ pub struct HomeParams {
     /// deliveries (loss- and crash-adjusted) a home must reach to
     /// pass.
     pub min_delivered_fraction: f64,
+    /// Device fault injected into the home's sensor (`"none"`,
+    /// `"stuck"`, `"flapping"`, `"drift"`, `"ghost"`, `"missed"`,
+    /// `"battery"`).
+    pub fault_kind: Option<FaultKind>,
+    /// Rate of the injected fault (0 disables injection).
+    pub fault_rate: f64,
+    /// Enable the platform's device-fault repair layer.
+    pub repair: bool,
 }
 
 impl Default for HomeParams {
@@ -93,6 +102,9 @@ impl Default for HomeParams {
             crash_at_secs: -1.0,
             failure_timeout_secs: 2.0,
             min_delivered_fraction: 0.9,
+            fault_kind: None,
+            fault_rate: 0.0,
+            repair: false,
         }
     }
 }
@@ -167,6 +179,26 @@ impl HomeParams {
                 Some(v) if (0.0..=1.0).contains(&v) => self.min_delivered_fraction = v,
                 _ => return bad(key, "a fraction in [0, 1]", value),
             },
+            "fault_kind" => match value.as_str() {
+                Some("none") => self.fault_kind = None,
+                Some(s) if FaultKind::parse(s).is_some() => self.fault_kind = FaultKind::parse(s),
+                _ => {
+                    return bad(
+                        key,
+                        "\"none\", \"stuck\", \"flapping\", \"drift\", \"ghost\", \
+                         \"missed\", or \"battery\"",
+                        value,
+                    )
+                }
+            },
+            "fault_rate" => match value.as_f64() {
+                Some(v) if (0.0..=1.0).contains(&v) => self.fault_rate = v,
+                _ => return bad(key, "a rate in [0, 1]", value),
+            },
+            "repair" => match value.as_bool() {
+                Some(v) => self.repair = v,
+                None => return bad(key, "a bool", value),
+            },
             _ => {
                 return Err(ParseError {
                     message: format!("unknown home parameter `{key}`"),
@@ -226,6 +258,9 @@ impl HomeParams {
         cfg.failure_timeout = secs_f64(self.failure_timeout_secs);
         cfg.durable = self.durable;
         cfg.obs = true;
+        cfg.fault_kind = self.fault_kind;
+        cfg.fault_rate = self.fault_rate;
+        cfg.repair = self.repair;
         cfg.seed = seed;
         cfg
     }
@@ -354,7 +389,9 @@ impl FleetManifest {
 
         let mut base = HomeParams::default();
         for (key, value) in &known("base") {
-            base.set(key, value)?;
+            base.set(key, value).map_err(|e| ParseError {
+                message: format!("`base.{key}`: {}", e.message),
+            })?;
         }
 
         // Axes live in a BTreeMap already, so iteration — and
@@ -383,8 +420,10 @@ impl FleetManifest {
             }
             // Reject unknown keys (and type errors) now, not per-home.
             let mut probe = base.clone();
-            for v in values {
-                probe.set(key, v)?;
+            for (i, v) in values.iter().enumerate() {
+                probe.set(key, v).map_err(|e| ParseError {
+                    message: format!("`axes.{key}[{i}]`: {}", e.message),
+                })?;
             }
             axes.push(Axis {
                 key: key.clone(),
@@ -526,6 +565,66 @@ ack_mode = ["cumulative", "per_event"]
         let bad = MANIFEST.replace("loss = [0.0, 0.1]", "wifi_quality = [0.0, 0.1]");
         let e = FleetManifest::from_text(&bad).unwrap_err();
         assert!(e.message.contains("wifi_quality"), "{e}");
+    }
+
+    #[test]
+    fn base_errors_name_the_offending_key_path() {
+        let bad = MANIFEST.replace("processes = 5", "procesess = 5");
+        let e = FleetManifest::from_text(&bad).unwrap_err();
+        assert!(e.message.contains("`base.procesess`"), "{e}");
+
+        let bad = MANIFEST.replace("rate_per_sec = 20", "rate_per_sec = -20");
+        let e = FleetManifest::from_text(&bad).unwrap_err();
+        assert!(e.message.contains("`base.rate_per_sec`"), "{e}");
+    }
+
+    #[test]
+    fn axis_errors_name_the_offending_value_path() {
+        // Second value of the loss axis is out of range: the error
+        // must point at `axes.loss[1]`, not just "loss".
+        let bad = MANIFEST.replace("loss = [0.0, 0.1]", "loss = [0.0, 1.5]");
+        let e = FleetManifest::from_text(&bad).unwrap_err();
+        assert!(e.message.contains("`axes.loss[1]`"), "{e}");
+    }
+
+    #[test]
+    fn fault_params_parse_and_reach_the_scenario() {
+        let text = r#"
+[fleet]
+name = "faulty"
+seed = 7
+homes_per_config = 1
+
+[base]
+fault_kind = "stuck"
+fault_rate = 0.25
+repair = true
+
+[axes]
+fault_rate = [0.0, 0.25, 0.5]
+"#;
+        let m = FleetManifest::from_text(text).unwrap();
+        assert_eq!(m.base.fault_kind, Some(FaultKind::StuckAt));
+        assert!(m.base.repair);
+        let specs = m.expand().unwrap();
+        assert_eq!(specs.len(), 3);
+        let cfg = specs[1].params.to_scenario(specs[1].seed);
+        assert_eq!(cfg.fault_kind, Some(FaultKind::StuckAt));
+        assert!((cfg.fault_rate - 0.25).abs() < 1e-12);
+        assert!(cfg.repair);
+
+        // "none" clears an inherited kind.
+        let cleared = text.replace("\"stuck\"", "\"none\"");
+        let m = FleetManifest::from_text(&cleared).unwrap();
+        assert_eq!(m.base.fault_kind, None);
+
+        // Unknown kind and out-of-range rate are rejected with paths.
+        let bad = text.replace("\"stuck\"", "\"gremlin\"");
+        let e = FleetManifest::from_text(&bad).unwrap_err();
+        assert!(e.message.contains("`base.fault_kind`"), "{e}");
+        let bad = text.replace("[0.0, 0.25, 0.5]", "[0.0, 2.0]");
+        let e = FleetManifest::from_text(&bad).unwrap_err();
+        assert!(e.message.contains("`axes.fault_rate[1]`"), "{e}");
     }
 
     #[test]

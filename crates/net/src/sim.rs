@@ -18,7 +18,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rivulet_types::{Duration, Time};
 
 use crate::actor::{Actor, ActorEvent, ActorId, Context, Effect};
@@ -118,6 +118,57 @@ enum Control {
         to: ActorId,
         blocked: bool,
     },
+    Burst {
+        from: Option<ActorId>,
+        to: Option<ActorId>,
+        spec: BurstSpec,
+    },
+}
+
+/// A broker-style link-degradation burst: while active, matching sends
+/// suffer extra delay, probabilistic duplication, and probabilistic
+/// reordering (an additional randomized delay that scrambles arrival
+/// order). Scheduled with [`SimNet::burst_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstSpec {
+    /// How long the burst lasts from its scheduled start.
+    pub duration: Duration,
+    /// Deterministic extra latency added to every matching send.
+    pub extra_delay: Duration,
+    /// Probability a matching send is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a matching send gets an additional uniformly random
+    /// delay in `[0, 2 × extra_delay]`, reordering it against its
+    /// neighbours.
+    pub reorder_prob: f64,
+}
+
+impl BurstSpec {
+    /// A delay-only burst.
+    #[must_use]
+    pub fn delay(duration: Duration, extra: Duration) -> Self {
+        Self {
+            duration,
+            extra_delay: extra,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+        }
+    }
+}
+
+/// A scheduled [`BurstSpec`] that has started and not yet expired.
+#[derive(Debug)]
+struct ActiveBurst {
+    from: Option<ActorId>,
+    to: Option<ActorId>,
+    until: Time,
+    spec: BurstSpec,
+}
+
+impl ActiveBurst {
+    fn matches(&self, from: ActorId, to: ActorId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
 }
 
 /// Heap entry ordered by (time, sequence number); the sequence number
@@ -161,6 +212,8 @@ pub struct SimNet {
     metrics: NetMetrics,
     trace: Trace,
     max_events: u64,
+    /// Link-degradation bursts currently in force (lazily pruned).
+    bursts: Vec<ActiveBurst>,
 }
 
 impl SimNet {
@@ -177,6 +230,7 @@ impl SimNet {
             metrics: NetMetrics::new(),
             trace: Trace::new(),
             max_events: config.max_events_per_run,
+            bursts: Vec::new(),
         }
     }
 
@@ -312,6 +366,22 @@ impl SimNet {
         );
     }
 
+    /// Schedules a link-degradation burst starting at `at`. `from`/`to`
+    /// restrict the burst to one directed link; `None` matches any
+    /// endpoint (a whole-home broker brown-out). While active, matching
+    /// sends pay `spec.extra_delay`, are duplicated with
+    /// `spec.dup_prob`, and are reordered with `spec.reorder_prob`
+    /// (counted as `fault.link.delayed` / `.duplicated` / `.reordered`).
+    pub fn burst_at(
+        &mut self,
+        at: Time,
+        from: Option<ActorId>,
+        to: Option<ActorId>,
+        spec: BurstSpec,
+    ) {
+        self.push(at, Pending::Control(Control::Burst { from, to, spec }));
+    }
+
     /// Runs the simulation until the queue is exhausted or virtual time
     /// would pass `deadline`; on return, `now() == deadline` (unless an
     /// event cap fired). Returns the number of events processed.
@@ -440,6 +510,16 @@ impl SimNet {
             Control::SetBlocked { from, to, blocked } => {
                 self.topology.set_blocked(from, to, blocked);
             }
+            Control::Burst { from, to, spec } => {
+                let key = u64::from(from.map_or(u32::MAX, |a| a.0));
+                self.metrics.obs.event("fault.link.burst", self.now, key, 0);
+                self.bursts.push(ActiveBurst {
+                    from,
+                    to,
+                    until: self.now + spec.duration,
+                    spec,
+                });
+            }
         }
     }
 
@@ -466,6 +546,40 @@ impl SimNet {
         for effect in effects {
             self.apply_effect(actor, effect);
         }
+    }
+
+    /// Applies active bursts to a routed delivery: returns the
+    /// (possibly delayed) arrival time plus an optional duplicate
+    /// arrival time. The driver RNG is consulted only while a matching
+    /// burst is in force, so runs that never schedule a burst are
+    /// bit-identical to runs on a burst-free driver.
+    fn apply_bursts(&mut self, from: ActorId, to: ActorId, at: Time) -> (Time, Option<Time>) {
+        if self.bursts.is_empty() {
+            return (at, None);
+        }
+        let now = self.now;
+        self.bursts.retain(|b| b.until > now);
+        let mut at = at;
+        let mut dup = None;
+        for b in &self.bursts {
+            if !b.matches(from, to) {
+                continue;
+            }
+            if b.spec.extra_delay > Duration::ZERO {
+                at += b.spec.extra_delay;
+                self.metrics.obs.inc("fault.link.delayed");
+            }
+            if b.spec.reorder_prob > 0.0 && self.rng.gen::<f64>() < b.spec.reorder_prob {
+                let jitter = b.spec.extra_delay.mul_f64(2.0 * self.rng.gen::<f64>());
+                at += jitter;
+                self.metrics.obs.inc("fault.link.reordered");
+            }
+            if b.spec.dup_prob > 0.0 && self.rng.gen::<f64>() < b.spec.dup_prob {
+                dup = Some(at);
+                self.metrics.obs.inc("fault.link.duplicated");
+            }
+        }
+        (at, dup)
     }
 
     fn apply_effect(&mut self, actor: ActorId, effect: Effect) {
@@ -496,7 +610,19 @@ impl SimNet {
                 );
                 match verdict {
                     Verdict::Deliver(at) => {
+                        let (at, duplicate_at) = self.apply_bursts(actor, to, at);
                         let to_inc = self.slots[to.0 as usize].incarnation;
+                        if let Some(dup_at) = duplicate_at {
+                            self.push(
+                                dup_at,
+                                Pending::Deliver {
+                                    from: actor,
+                                    to,
+                                    to_inc,
+                                    payload: payload.clone(),
+                                },
+                            );
+                        }
                         self.push(
                             at,
                             Pending::Deliver {
