@@ -40,6 +40,10 @@ use rivulet_bench::fanout::{
     run_micro, run_sim_twin, MicroPoint, MicroWorkload, SimPoint, SimWorkload,
 };
 use rivulet_bench::fault::{correctness_table, render_json, render_table};
+use rivulet_bench::routine::{
+    corruption_exactness, render_json as routine_json, render_table as routine_md, routines_table,
+    CRASH_OFFSETS_MS,
+};
 use rivulet_bench::tables::render_fanout_table;
 use rivulet_types::Duration;
 
@@ -82,6 +86,84 @@ fn fault_table(out_path: &str, quick: bool) {
         strictly_better
     );
     std::fs::write(out_path, render_json(&rows)).expect("write BENCH_fault.json");
+    println!("wrote {out_path}");
+}
+
+/// Runs the routines-under-crash sweep, prints the table, writes
+/// `out_path`, and asserts the execution-integrity gates:
+///
+/// 1. zero partial and zero phantom firings on every row (exact — one
+///    is an atomicity violation);
+/// 2. the coordinator's recovered ledger chain verifies on every row,
+///    including the recovered crash runs;
+/// 3. the sweep exercises both outcomes: some crash row aborted a
+///    staging and some row committed after recovery;
+/// 4. the crash-free baseline commits every staged instance;
+/// 5. tampering with any single ledger entry of the baseline run is
+///    detected at its exact index.
+fn routine_table(out_path: &str, quick: bool) {
+    let offsets: &[u64] = if quick { &[0, 2, 4] } else { &CRASH_OFFSETS_MS };
+    let duration = Duration::from_secs(30);
+    let seed = 42;
+    let rows = routines_table(offsets, duration, seed);
+    print!("{}", routine_md(&rows));
+    let mut aborted_total = 0u64;
+    let mut committed_after_crash = 0u64;
+    for r in &rows {
+        let o = &r.outcome;
+        let label = r
+            .crash_ms
+            .map_or_else(|| "baseline".to_owned(), |ms| format!("crash +{ms}ms"));
+        assert!(
+            o.partial_firings == 0,
+            "{label}: {} routine instance(s) fired partially — atomicity violated",
+            o.partial_firings
+        );
+        assert!(
+            o.phantom_firings == 0,
+            "{label}: {} non-committed instance(s) fired — staging leaked",
+            o.phantom_firings
+        );
+        assert!(
+            o.ledger_broken.is_none(),
+            "{label}: recovered ledger chain broken at index {:?}",
+            o.ledger_broken
+        );
+        if r.crash_ms.is_some() {
+            aborted_total += o.aborted;
+            committed_after_crash += o.committed;
+        } else {
+            assert!(
+                o.committed as usize == o.instances && o.instances > 0,
+                "baseline must commit every staged instance ({} of {})",
+                o.committed,
+                o.instances
+            );
+        }
+    }
+    assert!(
+        aborted_total > 0,
+        "no crash offset interrupted a staging; the sweep missed the window"
+    );
+    assert!(
+        committed_after_crash > 0,
+        "no crash row committed anything; recovery is not re-driving routines"
+    );
+    let baseline = &rows[0].outcome;
+    let (entries, exact) = corruption_exactness(seed, &baseline.ledger);
+    assert!(
+        entries > 0 && exact == entries,
+        "ledger corruption pinpointing failed: {exact} of {entries} tampered \
+         entries detected at their exact index"
+    );
+    println!(
+        "routine gate: {} rows, 0 partial/phantom firings, all ledgers verified, \
+         {aborted_total} crash-interrupted abort(s), {committed_after_crash} \
+         post-crash commit(s), {exact}/{entries} corruptions pinpointed",
+        rows.len()
+    );
+    std::fs::write(out_path, routine_json(&rows, (entries, exact)))
+        .expect("write BENCH_routines.json");
     println!("wrote {out_path}");
 }
 
@@ -278,6 +360,18 @@ fn main() {
             .unwrap_or_else(|| "BENCH_fault.json".to_owned());
         fault_table(&fault_out, quick);
         if args.iter().any(|a| a == "--fault-only") {
+            return;
+        }
+    }
+    if args.iter().any(|a| a == "--routine-table") {
+        let routine_out = args
+            .iter()
+            .position(|a| a == "--routine-out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_routines.json".to_owned());
+        routine_table(&routine_out, quick);
+        if args.iter().any(|a| a == "--routine-only") {
             return;
         }
     }

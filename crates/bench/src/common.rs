@@ -94,6 +94,12 @@ pub struct DeliveryScenario {
     pub fault_rate: f64,
     /// Enable the platform's device-fault repair layer.
     pub repair: bool,
+    /// Enable the routine execution engine: the measurement app fires
+    /// a one-step routine on the anchor actuator every tenth event,
+    /// exercising staging, the hash-chained ledger, and (on crashing
+    /// homes) recovery re-drive. Off leaves the run byte-identical to
+    /// a build without routines.
+    pub routines: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -124,6 +130,7 @@ impl DeliveryScenario {
             fault_kind: None,
             fault_rate: 0.0,
             repair: false,
+            routines: false,
             seed: 42,
         }
     }
@@ -190,7 +197,7 @@ pub fn run_delivery_with_probes(
     );
     let mut net = SimNet::new(SimConfig::with_seed(cfg.seed));
     net.recorder().set_enabled(cfg.obs);
-    let config = RivuletConfig::default()
+    let mut config = RivuletConfig::default()
         .with_failure_timeout(cfg.failure_timeout)
         .with_forwarding(cfg.forwarding)
         .with_coalescing(cfg.coalescing)
@@ -199,6 +206,11 @@ pub fn run_delivery_with_probes(
         .with_payload_arena(cfg.payload_arena)
         .with_wal_adaptive_gating(cfg.wal_adaptive)
         .with_repair(cfg.repair);
+    if cfg.routines {
+        config = config
+            .with_routines(true)
+            .with_routine_ledger_seed(cfg.seed);
+    }
     let mut home = HomeBuilder::new(&mut net).with_config(config);
     if let Some(kind) = cfg.fault_kind {
         if cfg.fault_rate > 0.0 {
@@ -240,13 +252,33 @@ pub fn run_delivery_with_probes(
         rivulet_types::ActuationState::Switch(false),
         &[pids[0]],
     );
+    // With routines on, every tenth event fires a one-step routine on
+    // the anchor, driving staging + ledger (and recovery on crashing
+    // homes). With routines off the trigger request is dropped before
+    // it has any effect, so the closure below is byte-neutral.
+    if cfg.routines {
+        let _ = home.add_routine(
+            rivulet_core::RoutineSpec::new(rivulet_types::RoutineId(1), "fleet-scene")
+                .step_compensated(
+                    anchor,
+                    rivulet_types::CommandKind::Set(rivulet_types::ActuationState::Switch(true)),
+                    rivulet_types::CommandKind::Set(rivulet_types::ActuationState::Switch(false)),
+                ),
+        );
+    }
 
-    // A no-op measurement app; the probe records every delivery.
+    // A no-op measurement app (unless routines are on); the probe
+    // records every delivery.
+    let routines_on = cfg.routines;
     let app = AppBuilder::new(AppId(1), "measurement")
         .operator(
             "sink",
             CombinerSpec::Any,
-            |_: &mut rivulet_core::app::OpCtx, _: &rivulet_core::app::CombinedWindows| {},
+            move |ctx: &mut rivulet_core::app::OpCtx, w: &rivulet_core::app::CombinedWindows| {
+                if routines_on && w.all_events().any(|e| e.id.seq % 10 == 9) {
+                    ctx.run_routine(rivulet_types::RoutineId(1));
+                }
+            },
         )
         .sensor(sensor, cfg.delivery, WindowSpec::count(1))
         .actuator(anchor, cfg.delivery)

@@ -18,6 +18,7 @@
 //! | [`tables`] | Tables 1 and 3 — app and sensor surveys |
 //! | [`fanout`] | encode-once fan-out + frame coalescing throughput (`BENCH_fanout.json`) |
 //! | [`fault`] | correctness vs device-fault rate, repair off/on (`BENCH_fault.json`) |
+//! | [`routine`] | routines under injected crashes + ledger audit (`BENCH_routines.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,4 +33,5 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod routine;
 pub mod tables;

@@ -10,7 +10,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use rivulet_types::{
-    ActuationState, ActuatorId, CommandKind, Event, EventKind, OperatorId, SensorId, Time,
+    ActuationState, ActuatorId, CommandKind, Event, EventKind, OperatorId, RoutineId, SensorId,
+    Time,
 };
 
 /// Identifies one input stream of an operator.
@@ -100,6 +101,15 @@ pub enum OpOutput {
         /// Human-readable message.
         message: String,
     },
+    /// Fire a deployed routine: an ordered multi-actuator command
+    /// sequence executed all-or-nothing by the routine engine. Ignored
+    /// (silently, with no observable side effects) when
+    /// [`crate::config::RivuletConfig::routines`] is off or the id is
+    /// not deployed.
+    RunRoutine {
+        /// The routine spec to fire.
+        routine: RoutineId,
+    },
 }
 
 /// The capability surface handed to operator logic per trigger.
@@ -164,6 +174,12 @@ impl OpCtx {
         self.outputs.push(OpOutput::Alert {
             message: message.into(),
         });
+    }
+
+    /// Fires a deployed routine (all-or-nothing multi-actuator
+    /// sequence). A no-op when the routine engine is disabled.
+    pub fn run_routine(&mut self, routine: RoutineId) {
+        self.outputs.push(OpOutput::RunRoutine { routine });
     }
 
     /// Consumes the context, yielding the requested outputs.

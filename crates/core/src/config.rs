@@ -128,6 +128,20 @@ pub struct RivuletConfig {
     /// Silence threshold after which a *pollable* sensor is considered
     /// stalled and re-polled through the polling service.
     pub repair_stall_timeout: Duration,
+    /// Master switch for the routine execution engine (all-or-nothing
+    /// multi-actuator command sequences, staged two-phase against the
+    /// hash-chained execution-integrity ledger). **Off by default**:
+    /// with routines disabled the runtime allocates no routine state,
+    /// writes no `routine.*`/`ledger.*` counters, and runs are
+    /// bit-identical to pre-routine builds.
+    pub routines: bool,
+    /// How long the routine coordinator waits for every staged step to
+    /// be acknowledged before aborting the firing and compensating.
+    pub routine_stage_timeout: Duration,
+    /// Seed of the execution-integrity ledger's genesis hash. Fleet
+    /// runs derive it per home so chains from different homes can never
+    /// be spliced together.
+    pub routine_ledger_seed: u64,
 }
 
 impl Default for RivuletConfig {
@@ -154,6 +168,9 @@ impl Default for RivuletConfig {
             repair_disagreement: 4.0,
             repair_outlier_quarantine: 10,
             repair_stall_timeout: Duration::from_secs(2),
+            routines: false,
+            routine_stage_timeout: Duration::from_secs(2),
+            routine_ledger_seed: 0,
         }
     }
 }
@@ -302,6 +319,33 @@ impl RivuletConfig {
         self.repair_stall_timeout = timeout;
         self
     }
+
+    /// Returns a config with the routine execution engine enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_routines(mut self, enabled: bool) -> Self {
+        self.routines = enabled;
+        self
+    }
+
+    /// Returns a config with the routine staging timeout replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero (a firing could never stage).
+    #[must_use]
+    pub fn with_routine_stage_timeout(mut self, timeout: Duration) -> Self {
+        assert!(timeout > Duration::ZERO, "stage timeout must be positive");
+        self.routine_stage_timeout = timeout;
+        self
+    }
+
+    /// Returns a config with the ledger genesis seed replaced.
+    #[must_use]
+    pub fn with_routine_ledger_seed(mut self, seed: u64) -> Self {
+        self.routine_ledger_seed = seed;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +371,26 @@ mod tests {
         assert!(c.repair_disagreement > 0.0);
         assert!(c.repair_outlier_quarantine > 0);
         assert!(c.repair_stall_timeout > Duration::ZERO);
+        assert!(!c.routines, "routine engine is opt-in");
+        assert!(c.routine_stage_timeout > Duration::ZERO);
+        assert_eq!(c.routine_ledger_seed, 0);
+    }
+
+    #[test]
+    fn routine_builders() {
+        let c = RivuletConfig::default()
+            .with_routines(true)
+            .with_routine_stage_timeout(Duration::from_millis(750))
+            .with_routine_ledger_seed(42);
+        assert!(c.routines);
+        assert_eq!(c.routine_stage_timeout, Duration::from_millis(750));
+        assert_eq!(c.routine_ledger_seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage timeout must be positive")]
+    fn zero_stage_timeout_panics() {
+        let _ = RivuletConfig::default().with_routine_stage_timeout(Duration::ZERO);
     }
 
     #[test]

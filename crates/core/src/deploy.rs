@@ -28,6 +28,7 @@ use crate::app::AppSpec;
 use crate::config::RivuletConfig;
 use crate::probe::{AppProbe, ProbeRegistry, StoreProbe};
 use crate::process::{DurabilitySpec, ProcessSpec, RivuletProcess};
+use crate::routine::{RoutineProbe, RoutineSpec};
 use rivulet_storage::{StorageBackend, WalOptions};
 
 /// One sensor's entry in the deployment directory.
@@ -270,6 +271,7 @@ pub struct HomeBuilder<'a, D: Driver> {
     store_probe: Option<Arc<StoreProbe>>,
     faults: Option<FaultPlan>,
     fault_probe: Arc<FaultProbe>,
+    routines: Vec<(Arc<RoutineSpec>, Arc<RoutineProbe>)>,
 }
 
 impl<D: Driver> std::fmt::Debug for HomeBuilder<'_, D> {
@@ -298,6 +300,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
             store_probe: None,
             faults: None,
             fault_probe: FaultProbe::new(),
+            routines: Vec::new(),
         }
     }
 
@@ -448,6 +451,25 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
         probe
     }
 
+    /// Deploys a routine home-wide; returns its probe. Routines only
+    /// fire when [`RivuletConfig::routines`] is on — deploying them
+    /// with the knob off changes nothing (bit-identical runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty routine or a duplicate routine id.
+    pub fn add_routine(&mut self, routine: RoutineSpec) -> Arc<RoutineProbe> {
+        assert!(!routine.steps.is_empty(), "routine has no steps");
+        assert!(
+            self.routines.iter().all(|(r, _)| r.id != routine.id),
+            "duplicate routine id {:?}",
+            routine.id
+        );
+        let probe = RoutineProbe::new();
+        self.routines.push((Arc::new(routine), Arc::clone(&probe)));
+        probe
+    }
+
     /// Creates all actors and publishes the directory.
     #[must_use]
     pub fn build(self) -> Home {
@@ -472,6 +494,7 @@ impl<'a, D: Driver> HomeBuilder<'a, D> {
                 store_probe: self.store_probe.clone(),
                 fanout: Arc::clone(&fanout),
                 obs: obs.clone(),
+                routines: self.routines.clone(),
             };
             let actor = self.driver.add_boxed_actor(
                 name,

@@ -83,6 +83,7 @@ pub mod messages;
 pub mod probe;
 pub mod process;
 pub mod repair;
+pub mod routine;
 pub mod store;
 
 pub use config::{ForwardingMode, RivuletConfig};
@@ -90,3 +91,4 @@ pub use delivery::Delivery;
 pub use deploy::{Home, HomeBuilder};
 pub use probe::{AppProbe, StoreProbe};
 pub use process::DurabilitySpec;
+pub use routine::{InstanceRecord, RoutineProbe, RoutineSpec, RoutineStep};

@@ -29,7 +29,8 @@ use rivulet_net::ring::SpscRing;
 use rivulet_obs::Recorder;
 use rivulet_types::wire::{Wire, WriterPool};
 use rivulet_types::{
-    ArenaStats, Command, CommandId, Duration, Event, OperatorId, ProcessId, SensorId, Time,
+    ArenaStats, Command, CommandId, Duration, Event, OperatorId, ProcessId, RoutineId, SensorId,
+    Time,
 };
 
 use crate::app::{AppRuntime, AppSpec, OpOutput, StreamKey};
@@ -46,7 +47,10 @@ use crate::membership::Membership;
 use crate::messages::{Frame, ProcMsg};
 use crate::probe::{AppProbe, DeliveryRecord, StoreProbe};
 use crate::repair::{HealthModel, RepairCounts, RepairVerdict};
-use rivulet_storage::{Checkpoint, FlushPolicy, StorageBackend, Wal, WalOptions};
+use crate::routine::{
+    AbortPlan, AckOutcome, RecoveryAction, RoutineEngine, RoutineProbe, RoutineSpec,
+};
+use rivulet_storage::{Checkpoint, FlushPolicy, LedgerEntry, StorageBackend, Wal, WalOptions};
 
 const TOKEN_INIT_RETRY: u64 = 0;
 const TOKEN_TICK: u64 = 1;
@@ -56,6 +60,12 @@ const KIND_EPOCH: u64 = 2;
 const KIND_SLOT: u64 = 3;
 const KIND_REPOLL: u64 = 4;
 const KIND_WINDOW: u64 = 5;
+const KIND_ROUTINE: u64 = 6;
+
+/// Synthetic operator identity under which routine compensation
+/// commands are sequenced: compensations restore declared safe states
+/// after an abort and belong to no application operator.
+const OP_COMPENSATION: OperatorId = OperatorId(u32::MAX);
 
 /// Processed events younger than this are retained so straggling
 /// duplicate copies still deduplicate against the store.
@@ -112,6 +122,10 @@ pub struct ProcessSpec {
     /// Unified observability handle (cloned from the driver); disabled
     /// recorders make every record call a no-op.
     pub obs: Recorder,
+    /// Routines deployed home-wide (every process knows all routines;
+    /// the coordinator is the active logic node whose operator triggers
+    /// the firing). Ignored unless [`RivuletConfig::routines`] is on.
+    pub routines: Vec<(Arc<RoutineSpec>, Arc<RoutineProbe>)>,
 }
 
 impl std::fmt::Debug for ProcessSpec {
@@ -201,6 +215,11 @@ struct Initialized {
     /// peer-midpoint substitution, quarantine) and stalled pollable
     /// sensors are re-polled from the tick.
     repair: Option<HealthModel>,
+    /// Routine execution engine; `None` unless
+    /// [`RivuletConfig::routines`] is on, in which case
+    /// [`OpOutput::RunRoutine`] triggers staged all-or-nothing
+    /// multi-actuator firings recorded in the hash-chained ledger.
+    routines: Option<RoutineEngine>,
 }
 
 /// Hot-path ring counters, exported to the recorder as deltas on
@@ -438,6 +457,7 @@ impl RivuletProcess {
             gapless.store_mut().enable_arena();
         }
         let mut processed: HashMap<SensorId, u64> = HashMap::new();
+        let mut recovered_ledger: Vec<LedgerEntry> = Vec::new();
         let wal = self.spec.storage.as_ref().map(|durability| {
             let (mut wal, recovered) =
                 Wal::open(Arc::clone(&durability.backend), durability.options).expect("wal open");
@@ -458,11 +478,44 @@ impl RivuletProcess {
             for event in recovered.events {
                 gapless.store_mut().insert(event);
             }
+            recovered_ledger = recovered.ledger;
             wal
         });
+
+        // Rebuild the routine engine and classify every ledger instance
+        // the crash left unresolved: committed firings re-drive their
+        // idempotent commit, interrupted stagings abort (and compensate
+        // once `st` is in place — see `replay_routine_recovery`).
+        let mut routines =
+            self.spec.config.routines.then(|| {
+                RoutineEngine::new(self.spec.config.routine_ledger_seed, &self.spec.routines)
+            });
+        let mut routine_recovery: Vec<RecoveryAction> = Vec::new();
+        if let Some(engine) = routines.as_mut() {
+            if !recovered_ledger.is_empty() {
+                self.spec
+                    .obs
+                    .add("ledger.recovered_entries", recovered_ledger.len() as u64);
+                routine_recovery = engine.recover(&recovered_ledger, ctx.now());
+            }
+        }
         // Recovered events are already durable: re-advertise their
         // receipt watermarks so peers' pending broadcasts retire.
         let received_marks: HashMap<SensorId, u64> = gapless.store().iter_watermarks().collect();
+
+        // Command sequence counters must resume past every id the
+        // ledger proves was already issued: actuators dedup by
+        // `CommandId`, so a reused (operator, seq) pair after a crash
+        // would be silently suppressed as a pre-crash duplicate.
+        let mut cmd_seq: HashMap<OperatorId, u64> = HashMap::new();
+        for entry in &recovered_ledger {
+            for (_, cmd) in &entry.commands {
+                if cmd.issuer == me {
+                    let floor = cmd_seq.entry(cmd.operator).or_insert(0);
+                    *floor = (*floor).max(cmd.seq + 1);
+                }
+            }
+        }
 
         self.st = Some(Initialized {
             membership,
@@ -482,7 +535,7 @@ impl RivuletProcess {
             processed,
             received_marks,
             window_timers,
-            cmd_seq: HashMap::new(),
+            cmd_seq,
             last_successor: None,
             wal,
             gate: AdaptiveGate::new(
@@ -512,7 +565,13 @@ impl RivuletProcess {
                     self.spec.apps.iter().map(|(s, _)| Arc::clone(s)).collect();
                 HealthModel::from_apps(&self.spec.config, &specs)
             }),
+            routines,
         });
+
+        // Drive the recovery verdicts now that `st` exists: re-send
+        // idempotent commits, abort-and-compensate interrupted stagings
+        // (their fresh `Aborted` entries go through the WAL first).
+        self.replay_routine_recovery(ctx, routine_recovery);
 
         self.spec
             .obs
@@ -1320,8 +1379,225 @@ impl RivuletProcess {
                     }
                     self.spec.obs.inc("app.alerts");
                 }
+                OpOutput::RunRoutine { routine } => {
+                    self.run_routine(ctx, out.operator, routine);
+                }
                 OpOutput::Emit { .. } => {
                     // Internal cascades were resolved inside the runtime.
+                }
+            }
+        }
+    }
+
+    /// Triggers a staged all-or-nothing firing of `routine` (§4.7).
+    /// Silently ignored when [`RivuletConfig::routines`] is off or the
+    /// id is undeployed, so apps can request routines unconditionally.
+    fn run_routine(&mut self, ctx: &mut Context<'_>, operator: OperatorId, routine: RoutineId) {
+        let now = ctx.now();
+        let me = self.me();
+        let st = self.st.as_mut().expect("initialized");
+        let Some(engine) = st.routines.as_mut() else {
+            return;
+        };
+        let Some(spec) = engine.spec(routine) else {
+            return;
+        };
+        // Staging frames go over local radio links only: if any target
+        // actuator is not adapted by this coordinator, refuse the
+        // trigger outright — nothing staged, nothing to clean up.
+        let unreachable = spec.actuators().iter().any(|a| {
+            st.actuators
+                .get(a)
+                .is_none_or(|(_, reachers)| !reachers.contains(&me))
+        });
+        if unreachable {
+            engine.note_unreachable(routine);
+            self.spec.obs.inc("routine.unreachable");
+            return;
+        }
+        let cmd_seq = &mut st.cmd_seq;
+        let Some(plan) = engine.trigger(routine, now, |actuator, kind| {
+            let seq = cmd_seq.entry(operator).or_insert(0);
+            let id = CommandId::new(me, operator, *seq);
+            *seq += 1;
+            Command::new(id, actuator, kind, now)
+        }) else {
+            return;
+        };
+        // Write-ahead: the Staged entry is durable before any stage
+        // frame leaves, so a crash mid-staging recovers to a clean
+        // abort instead of orphaned held commands.
+        if let Some(wal) = st.wal.as_mut() {
+            wal.append_ledger(&plan.entry).expect("ledger append");
+        }
+        self.spec.obs.inc("routine.triggered");
+        for (actuator, step, command) in plan.stages {
+            let device = st.actuators[&actuator].0;
+            ctx.send(
+                device,
+                RadioFrame::Stage {
+                    routine,
+                    instance: plan.instance,
+                    step,
+                    command,
+                }
+                .to_payload(),
+            );
+        }
+        ctx.set_timer(
+            self.spec.config.routine_stage_timeout,
+            token(KIND_ROUTINE, plan.instance as u32),
+        );
+    }
+
+    /// An actuator acknowledged (or refused) a staged routine step.
+    fn on_stage_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        routine: RoutineId,
+        instance: u64,
+        step: u32,
+        accepted: bool,
+    ) {
+        let now = ctx.now();
+        let outcome = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(engine) = st.routines.as_mut() else {
+                return;
+            };
+            engine.on_stage_ack(routine, instance, step, accepted, now)
+        };
+        self.spec.obs.inc("routine.stage_acks");
+        match outcome {
+            AckOutcome::Ignored => {}
+            AckOutcome::Commit { entry, targets } => {
+                ctx.cancel_timer(token(KIND_ROUTINE, instance as u32));
+                let st = self.st.as_mut().expect("initialized");
+                // Write-ahead: the commit decision is durable before
+                // any fire frame leaves; recovery re-drives the
+                // idempotent commit if we crash mid-burst.
+                if let Some(wal) = st.wal.as_mut() {
+                    wal.append_ledger(&entry).expect("ledger append");
+                }
+                for actuator in targets {
+                    let device = st.actuators[&actuator].0;
+                    ctx.send(
+                        device,
+                        RadioFrame::CommitRoutine { routine, instance }.to_payload(),
+                    );
+                }
+                self.spec.obs.inc("routine.committed");
+            }
+            AckOutcome::Abort(plan) => {
+                ctx.cancel_timer(token(KIND_ROUTINE, instance as u32));
+                self.abort_routine(ctx, plan, true);
+            }
+        }
+    }
+
+    /// The staging timeout fired for `instance`: abort it unless the
+    /// last ack raced the timer and already resolved the firing.
+    fn routine_timeout_fired(&mut self, ctx: &mut Context<'_>, instance: u64) {
+        let now = ctx.now();
+        let plan = {
+            let st = self.st.as_mut().expect("initialized");
+            let Some(engine) = st.routines.as_mut() else {
+                return;
+            };
+            engine.on_timeout(instance, now)
+        };
+        let Some(plan) = plan else {
+            return;
+        };
+        self.spec.obs.inc("routine.timeouts");
+        self.abort_routine(ctx, plan, true);
+    }
+
+    /// Aborts a firing: makes the `Aborted` entry durable (unless the
+    /// caller already did, e.g. recovery), tells every target to
+    /// discard its held steps, and issues the declared compensation
+    /// commands as plain actuations (recorded as a `Compensated`
+    /// entry *before* they are routed — write-ahead).
+    fn abort_routine(&mut self, ctx: &mut Context<'_>, plan: AbortPlan, append_entry: bool) {
+        let now = ctx.now();
+        let me = self.me();
+        {
+            let st = self.st.as_mut().expect("initialized");
+            if append_entry {
+                if let Some(wal) = st.wal.as_mut() {
+                    wal.append_ledger(&plan.entry).expect("ledger append");
+                }
+            }
+            for actuator in &plan.targets {
+                if let Some((device, reachers)) = st.actuators.get(actuator) {
+                    if reachers.contains(&me) {
+                        ctx.send(
+                            *device,
+                            RadioFrame::AbortRoutine {
+                                routine: plan.routine,
+                                instance: plan.instance,
+                            }
+                            .to_payload(),
+                        );
+                    }
+                }
+            }
+        }
+        self.spec.obs.inc("routine.aborted");
+        if plan.compensations.is_empty() {
+            return;
+        }
+        let commands = {
+            let st = self.st.as_mut().expect("initialized");
+            let mut commands = Vec::with_capacity(plan.compensations.len());
+            let mut issued = Vec::with_capacity(plan.compensations.len());
+            for (actuator, kind) in plan.compensations {
+                let seq = st.cmd_seq.entry(OP_COMPENSATION).or_insert(0);
+                let id = CommandId::new(me, OP_COMPENSATION, *seq);
+                *seq += 1;
+                issued.push((actuator, id));
+                commands.push(Command::new(id, actuator, kind, now));
+            }
+            let engine = st.routines.as_mut().expect("routines on");
+            let entry = engine.record_compensated(plan.routine, plan.instance, now, issued);
+            if let Some(wal) = st.wal.as_mut() {
+                wal.append_ledger(&entry).expect("ledger append");
+            }
+            commands
+        };
+        for command in commands {
+            self.route_command(ctx, command);
+        }
+        self.spec.obs.inc("routine.compensated");
+    }
+
+    /// Replays the routine-recovery verdicts computed during
+    /// [`RivuletProcess::initialize`], once `st` exists.
+    fn replay_routine_recovery(&mut self, ctx: &mut Context<'_>, actions: Vec<RecoveryAction>) {
+        let me = self.me();
+        for action in actions {
+            match action {
+                RecoveryAction::Recommit {
+                    routine,
+                    instance,
+                    targets,
+                } => {
+                    self.spec.obs.inc("routine.recommits");
+                    let st = self.st.as_ref().expect("initialized");
+                    for actuator in targets {
+                        if let Some((device, reachers)) = st.actuators.get(&actuator) {
+                            if reachers.contains(&me) {
+                                ctx.send(
+                                    *device,
+                                    RadioFrame::CommitRoutine { routine, instance }.to_payload(),
+                                );
+                            }
+                        }
+                    }
+                }
+                RecoveryAction::AbortStaged(plan) => {
+                    self.spec.obs.inc("routine.recovered_aborts");
+                    self.abort_routine(ctx, plan, true);
                 }
             }
         }
@@ -1823,8 +2099,18 @@ impl Actor for RivuletProcess {
                             // Acknowledgements are observable via the
                             // actuator probe; nothing to do here.
                         }
+                        RadioFrame::StageAck {
+                            routine,
+                            instance,
+                            step,
+                            accepted,
+                        } => self.on_stage_ack(ctx, routine, instance, step, accepted),
                         // Devices never send these to processes.
-                        RadioFrame::PollRequest { .. } | RadioFrame::Actuate(_) => {}
+                        RadioFrame::PollRequest { .. }
+                        | RadioFrame::Actuate(_)
+                        | RadioFrame::Stage { .. }
+                        | RadioFrame::CommitRoutine { .. }
+                        | RadioFrame::AbortRoutine { .. } => {}
                     }
                 }
             }
@@ -1852,6 +2138,7 @@ impl Actor for RivuletProcess {
                     (KIND_SLOT, s) => self.slot_fired(ctx, SensorId(s as u32)),
                     (KIND_REPOLL, s) => self.repoll_fired(ctx, SensorId(s as u32)),
                     (KIND_WINDOW, i) => self.window_fired(ctx, i as usize),
+                    (KIND_ROUTINE, i) => self.routine_timeout_fired(ctx, i),
                     _ => {}
                 }
             }

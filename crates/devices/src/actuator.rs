@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 use rivulet_net::actor::{Actor, ActorEvent, Context};
 use rivulet_obs::Recorder;
 use rivulet_types::wire::Wire;
-use rivulet_types::{ActuationState, ActuatorId, CommandId, CommandKind, Time};
+use rivulet_types::{ActuationState, ActuatorId, Command, CommandId, CommandKind, RoutineId, Time};
 
 use crate::fault::{DeviceFaults, FaultKind, FaultProbe};
 use crate::frame::RadioFrame;
@@ -25,6 +25,9 @@ pub struct ActuatorProbe {
     effects: Mutex<Vec<(Time, CommandId, ActuationState)>>,
     commands_received: AtomicU64,
     duplicates_suppressed: AtomicU64,
+    staged_held: AtomicU64,
+    routine_commits: AtomicU64,
+    routine_aborts: AtomicU64,
     state: Mutex<ActuationState>,
 }
 
@@ -36,6 +39,9 @@ impl ActuatorProbe {
             effects: Mutex::new(Vec::new()),
             commands_received: AtomicU64::new(0),
             duplicates_suppressed: AtomicU64::new(0),
+            staged_held: AtomicU64::new(0),
+            routine_commits: AtomicU64::new(0),
+            routine_aborts: AtomicU64::new(0),
             state: Mutex::new(initial),
         })
     }
@@ -64,6 +70,24 @@ impl ActuatorProbe {
         self.duplicates_suppressed.load(Ordering::SeqCst)
     }
 
+    /// Routine steps accepted for staging (held, not yet fired).
+    #[must_use]
+    pub fn staged_held(&self) -> u64 {
+        self.staged_held.load(Ordering::SeqCst)
+    }
+
+    /// Routine instances this actuator committed (fired held steps).
+    #[must_use]
+    pub fn routine_commits(&self) -> u64 {
+        self.routine_commits.load(Ordering::SeqCst)
+    }
+
+    /// Routine instances whose held steps were discarded by an abort.
+    #[must_use]
+    pub fn routine_aborts(&self) -> u64 {
+        self.routine_aborts.load(Ordering::SeqCst)
+    }
+
     /// The actuator's current state.
     #[must_use]
     pub fn state(&self) -> ActuationState {
@@ -86,6 +110,13 @@ pub struct ActuatorDevice {
     state: ActuationState,
     probe: Arc<ActuatorProbe>,
     applied_ids: Vec<CommandId>,
+    /// Commands withheld for staged routine steps, fired in step order
+    /// on [`RadioFrame::CommitRoutine`] or discarded on
+    /// [`RadioFrame::AbortRoutine`].
+    staged: Vec<(RoutineId, u64, u32, Command)>,
+    /// Instances already committed here — repeated commit frames (e.g.
+    /// re-sent after coordinator recovery) apply nothing.
+    committed: Vec<(RoutineId, u64)>,
     /// Seeded fault schedule, if a [`crate::fault::FaultPlan`] names
     /// this actuator. `Missed` drops commands before they are seen;
     /// `StuckAt` acks them without applying.
@@ -105,6 +136,8 @@ impl ActuatorDevice {
             state: initial,
             probe,
             applied_ids: Vec::new(),
+            staged: Vec::new(),
+            committed: Vec::new(),
             faults: None,
             fault_probe: None,
             obs: Recorder::new(),
@@ -146,19 +179,57 @@ impl ActuatorDevice {
             _ => false,
         }
     }
-}
 
-impl Actor for ActuatorDevice {
-    fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
-        let ActorEvent::Message { from, payload } = event else {
-            return;
-        };
-        let Ok(RadioFrame::Actuate(cmd)) = RadioFrame::from_bytes(&payload) else {
-            return;
-        };
-        if cmd.actuator != self.actuator {
-            return;
+    /// Applies `cmd` to the physical state, honouring exactly-once per
+    /// command id and Test&Set. Returns whether it took effect.
+    fn apply_locally(&mut self, now: Time, cmd: &Command) -> bool {
+        if self.applied_ids.contains(&cmd.id) {
+            self.probe
+                .duplicates_suppressed
+                .fetch_add(1, Ordering::SeqCst);
+            return false;
         }
+        match cmd.kind {
+            CommandKind::Set(desired) => {
+                self.state = desired;
+                self.applied_ids.push(cmd.id);
+                self.probe
+                    .effects
+                    .lock()
+                    .expect("probe lock")
+                    .push((now, cmd.id, desired));
+                *self.probe.state.lock().expect("probe lock") = desired;
+                true
+            }
+            CommandKind::TestAndSet { expected, desired } => {
+                if Self::states_equal(self.state, expected) {
+                    self.state = desired;
+                    self.applied_ids.push(cmd.id);
+                    self.probe
+                        .effects
+                        .lock()
+                        .expect("probe lock")
+                        .push((now, cmd.id, desired));
+                    *self.probe.state.lock().expect("probe lock") = desired;
+                    true
+                } else {
+                    self.probe
+                        .duplicates_suppressed
+                        .fetch_add(1, Ordering::SeqCst);
+                    false
+                }
+            }
+            // Future command kinds: refuse rather than guess.
+            _ => false,
+        }
+    }
+
+    fn on_actuate(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: rivulet_net::actor::ActorId,
+        cmd: &Command,
+    ) {
         let decision = match self.faults.as_mut() {
             Some(f) => f.decide_next(),
             None => crate::fault::FaultDecision::default(),
@@ -185,45 +256,8 @@ impl Actor for ActuatorDevice {
                 p.record_command_refused();
             }
             false
-        } else if already_applied {
-            self.probe
-                .duplicates_suppressed
-                .fetch_add(1, Ordering::SeqCst);
-            false
         } else {
-            match cmd.kind {
-                CommandKind::Set(desired) => {
-                    self.state = desired;
-                    self.applied_ids.push(cmd.id);
-                    self.probe.effects.lock().expect("probe lock").push((
-                        ctx.now(),
-                        cmd.id,
-                        desired,
-                    ));
-                    *self.probe.state.lock().expect("probe lock") = desired;
-                    true
-                }
-                CommandKind::TestAndSet { expected, desired } => {
-                    if Self::states_equal(self.state, expected) {
-                        self.state = desired;
-                        self.applied_ids.push(cmd.id);
-                        self.probe.effects.lock().expect("probe lock").push((
-                            ctx.now(),
-                            cmd.id,
-                            desired,
-                        ));
-                        *self.probe.state.lock().expect("probe lock") = desired;
-                        true
-                    } else {
-                        self.probe
-                            .duplicates_suppressed
-                            .fetch_add(1, Ordering::SeqCst);
-                        false
-                    }
-                }
-                // Future command kinds: refuse rather than guess.
-                _ => false,
-            }
+            self.apply_locally(ctx.now(), cmd)
         };
         let ack = RadioFrame::ActuateAck {
             command: cmd.id,
@@ -231,6 +265,124 @@ impl Actor for ActuatorDevice {
             state: self.state,
         };
         ctx.send(from, ack.to_payload());
+    }
+
+    /// Holds a routine step for later commit and acks the staging.
+    ///
+    /// Fault semantics mirror plain actuation, but shifted to the
+    /// staging handshake so a faulty device fails the routine *before*
+    /// anything fires: a `Missed` fault swallows the stage frame (no
+    /// ack — the coordinator times out and aborts), a `StuckAt` fault
+    /// acks `accepted = false` (instant abort). Commit and abort frames
+    /// are then processed unconditionally, preserving all-or-nothing.
+    fn on_stage(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: rivulet_net::actor::ActorId,
+        routine: RoutineId,
+        instance: u64,
+        step: u32,
+        command: Command,
+    ) {
+        if command.actuator != self.actuator {
+            return;
+        }
+        let decision = match self.faults.as_mut() {
+            Some(f) => f.decide_next(),
+            None => crate::fault::FaultDecision::default(),
+        };
+        if decision.suppress.is_some() {
+            self.obs.inc("fault.stage_dropped");
+            if let Some(p) = &self.fault_probe {
+                p.record_command_dropped();
+            }
+            return;
+        }
+        let stuck = decision.corrupt == Some(FaultKind::StuckAt);
+        let accepted = !stuck;
+        if stuck {
+            self.obs.inc("fault.stage_refused");
+            if let Some(p) = &self.fault_probe {
+                p.record_command_refused();
+            }
+        } else if self.committed.contains(&(routine, instance)) {
+            // A retransmitted stage for an instance that already
+            // committed here: the effect happened, just re-ack.
+        } else {
+            // Replace rather than duplicate on retransmission.
+            self.staged
+                .retain(|(r, i, s, _)| !(*r == routine && *i == instance && *s == step));
+            self.staged.push((routine, instance, step, command));
+            self.probe.staged_held.fetch_add(1, Ordering::SeqCst);
+        }
+        let ack = RadioFrame::StageAck {
+            routine,
+            instance,
+            step,
+            accepted,
+        };
+        ctx.send(from, ack.to_payload());
+    }
+
+    /// Fires every held step of `(routine, instance)` in step order.
+    fn on_commit(&mut self, now: Time, routine: RoutineId, instance: u64) {
+        if self.committed.contains(&(routine, instance)) {
+            return;
+        }
+        let mut held: Vec<(u32, Command)> = Vec::new();
+        self.staged.retain(|(r, i, s, c)| {
+            if *r == routine && *i == instance {
+                held.push((*s, c.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        held.sort_by_key(|(s, _)| *s);
+        for (_, cmd) in &held {
+            let _ = self.apply_locally(now, cmd);
+        }
+        self.committed.push((routine, instance));
+        if !held.is_empty() {
+            self.probe.routine_commits.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Discards every held step of `(routine, instance)` unfired.
+    fn on_abort(&mut self, routine: RoutineId, instance: u64) {
+        let before = self.staged.len();
+        self.staged
+            .retain(|(r, i, _, _)| !(*r == routine && *i == instance));
+        if self.staged.len() != before {
+            self.probe.routine_aborts.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Actor for ActuatorDevice {
+    fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+        let ActorEvent::Message { from, payload } = event else {
+            return;
+        };
+        let Ok(frame) = RadioFrame::from_bytes(&payload) else {
+            return;
+        };
+        match frame {
+            RadioFrame::Actuate(cmd) if cmd.actuator == self.actuator => {
+                self.on_actuate(ctx, from, &cmd);
+            }
+            RadioFrame::Stage {
+                routine,
+                instance,
+                step,
+                command,
+            } => self.on_stage(ctx, from, routine, instance, step, command),
+            RadioFrame::CommitRoutine { routine, instance } => {
+                self.on_commit(ctx.now(), routine, instance);
+            }
+            RadioFrame::AbortRoutine { routine, instance } => self.on_abort(routine, instance),
+            _ => {}
+        }
     }
 }
 
@@ -393,6 +545,168 @@ mod tests {
         assert_eq!(probe.commands_received(), 0);
         assert_eq!(probe.effect_count(), 0);
         assert!(acks.is_empty());
+    }
+
+    /// A captured `StageAck`: `(routine, instance, step, accepted)`.
+    type StageAckRec = (RoutineId, u64, u32, bool);
+
+    /// Sends a scripted series of raw frames, 10 ms apart.
+    struct FrameIssuer {
+        target: ActorId,
+        script: Vec<RadioFrame>,
+        stage_acks: Arc<Mutex<Vec<StageAckRec>>>,
+        idx: usize,
+    }
+
+    impl Actor for FrameIssuer {
+        fn on_event(&mut self, ctx: &mut Context<'_>, event: ActorEvent) {
+            match event {
+                ActorEvent::Start => ctx.set_timer(rivulet_types::Duration::from_millis(10), 1),
+                ActorEvent::Timer { .. } => {
+                    if let Some(frame) = self.script.get(self.idx) {
+                        self.idx += 1;
+                        ctx.send(self.target, frame.to_payload());
+                        ctx.set_timer(rivulet_types::Duration::from_millis(10), 1);
+                    }
+                }
+                ActorEvent::Message { payload, .. } => {
+                    if let Ok(RadioFrame::StageAck {
+                        routine,
+                        instance,
+                        step,
+                        accepted,
+                    }) = RadioFrame::from_bytes(&payload)
+                    {
+                        self.stage_acks
+                            .lock()
+                            .expect("lock")
+                            .push((routine, instance, step, accepted));
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_frames(script: Vec<RadioFrame>) -> (Arc<ActuatorProbe>, Vec<StageAckRec>) {
+        let mut net = SimNet::new(SimConfig::with_seed(1));
+        let probe = ActuatorProbe::new(ActuationState::Switch(false));
+        let p = Arc::clone(&probe);
+        let dev = net.add_actor("light", ActorClass::Device, move || {
+            Box::new(ActuatorDevice::new(
+                ActuatorId(1),
+                ActuationState::Switch(false),
+                Arc::clone(&p),
+            ))
+        });
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let a = Arc::clone(&acks);
+        let s = script.clone();
+        net.add_actor("coordinator", ActorClass::Process, move || {
+            Box::new(FrameIssuer {
+                target: dev,
+                script: s.clone(),
+                stage_acks: Arc::clone(&a),
+                idx: 0,
+            })
+        });
+        net.run_until(Time::from_secs(5));
+        let collected = acks.lock().unwrap().clone();
+        (probe, collected)
+    }
+
+    fn stage(instance: u64, step: u32, seq: u64, state: ActuationState) -> RadioFrame {
+        RadioFrame::Stage {
+            routine: RoutineId(1),
+            instance,
+            step,
+            command: cmd(seq, CommandKind::Set(state)),
+        }
+    }
+
+    #[test]
+    fn staged_commands_withheld_until_commit() {
+        let (probe, acks) = run_frames(vec![
+            stage(0, 0, 10, ActuationState::Switch(true)),
+            stage(0, 1, 11, ActuationState::Switch(false)),
+        ]);
+        assert_eq!(
+            acks,
+            vec![(RoutineId(1), 0, 0, true), (RoutineId(1), 0, 1, true)]
+        );
+        assert_eq!(probe.effect_count(), 0, "nothing fires before commit");
+        assert_eq!(probe.staged_held(), 2);
+    }
+
+    #[test]
+    fn commit_fires_held_steps_in_step_order() {
+        // Stage steps out of order; commit must apply them sorted.
+        let (probe, _) = run_frames(vec![
+            stage(0, 1, 11, ActuationState::Level(21.0)),
+            stage(0, 0, 10, ActuationState::Level(19.0)),
+            RadioFrame::CommitRoutine {
+                routine: RoutineId(1),
+                instance: 0,
+            },
+        ]);
+        assert_eq!(probe.effect_count(), 2);
+        assert_eq!(
+            probe.state(),
+            ActuationState::Level(21.0),
+            "step 1 fires last"
+        );
+        assert_eq!(probe.routine_commits(), 1);
+    }
+
+    #[test]
+    fn commit_is_idempotent() {
+        let (probe, _) = run_frames(vec![
+            stage(0, 0, 10, ActuationState::Switch(true)),
+            RadioFrame::CommitRoutine {
+                routine: RoutineId(1),
+                instance: 0,
+            },
+            RadioFrame::CommitRoutine {
+                routine: RoutineId(1),
+                instance: 0,
+            },
+        ]);
+        assert_eq!(probe.effect_count(), 1, "re-sent commit applies nothing");
+        assert_eq!(probe.routine_commits(), 1);
+    }
+
+    #[test]
+    fn abort_discards_without_firing() {
+        let (probe, _) = run_frames(vec![
+            stage(0, 0, 10, ActuationState::Switch(true)),
+            stage(0, 1, 11, ActuationState::Switch(false)),
+            RadioFrame::AbortRoutine {
+                routine: RoutineId(1),
+                instance: 0,
+            },
+            // A late commit for the aborted instance finds nothing held.
+            RadioFrame::CommitRoutine {
+                routine: RoutineId(1),
+                instance: 0,
+            },
+        ]);
+        assert_eq!(probe.effect_count(), 0);
+        assert_eq!(probe.routine_aborts(), 1);
+        assert_eq!(probe.routine_commits(), 0);
+    }
+
+    #[test]
+    fn instances_are_isolated() {
+        // Committing instance 1 must not fire instance 0's held steps.
+        let (probe, _) = run_frames(vec![
+            stage(0, 0, 10, ActuationState::Switch(true)),
+            stage(1, 0, 20, ActuationState::Level(25.0)),
+            RadioFrame::CommitRoutine {
+                routine: RoutineId(1),
+                instance: 1,
+            },
+        ]);
+        assert_eq!(probe.effect_count(), 1);
+        assert_eq!(probe.state(), ActuationState::Level(25.0));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use rivulet_types::wire::{Wire, WireError, WireReader, WireWriter};
-use rivulet_types::{ActuationState, Command, CommandId, Event, SensorId};
+use rivulet_types::{ActuationState, Command, CommandId, Event, RoutineId, SensorId};
 
 /// A frame on a device↔process radio link.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +36,49 @@ pub enum RadioFrame {
         /// The actuator state after processing the command.
         state: ActuationState,
     },
+    /// The routine coordinator stages one step's command on an
+    /// actuator. The actuator withholds the command (nothing fires)
+    /// until a matching [`RadioFrame::CommitRoutine`] arrives, or
+    /// discards it on [`RadioFrame::AbortRoutine`].
+    Stage {
+        /// The routine spec being fired.
+        routine: RoutineId,
+        /// The firing instance (coordinator-local counter).
+        instance: u64,
+        /// Position of this command in the routine's step order.
+        step: u32,
+        /// The withheld command.
+        command: Command,
+    },
+    /// The actuator acknowledges staging; `accepted` is false when the
+    /// actuator refuses to hold the command (e.g. a faulty device).
+    StageAck {
+        /// The staged routine.
+        routine: RoutineId,
+        /// The staged instance.
+        instance: u64,
+        /// The staged step.
+        step: u32,
+        /// Whether the command is now held for commit.
+        accepted: bool,
+    },
+    /// Fires every command the actuator holds for `(routine,
+    /// instance)`, in step order. Idempotent: an instance already
+    /// committed (or never staged here) applies nothing.
+    CommitRoutine {
+        /// The routine to commit.
+        routine: RoutineId,
+        /// The instance to commit.
+        instance: u64,
+    },
+    /// Discards every command the actuator holds for `(routine,
+    /// instance)` without firing.
+    AbortRoutine {
+        /// The routine to abort.
+        routine: RoutineId,
+        /// The instance to abort.
+        instance: u64,
+    },
 }
 
 impl RadioFrame {
@@ -57,6 +100,32 @@ impl Wire for RadioFrame {
                 applied,
                 state,
             } => command.encoded_len() + applied.encoded_len() + state.encoded_len(),
+            RadioFrame::Stage {
+                routine,
+                instance,
+                step,
+                command,
+            } => {
+                routine.encoded_len()
+                    + instance.encoded_len()
+                    + step.encoded_len()
+                    + command.encoded_len()
+            }
+            RadioFrame::StageAck {
+                routine,
+                instance,
+                step,
+                accepted,
+            } => {
+                routine.encoded_len()
+                    + instance.encoded_len()
+                    + step.encoded_len()
+                    + accepted.encoded_len()
+            }
+            RadioFrame::CommitRoutine { routine, instance }
+            | RadioFrame::AbortRoutine { routine, instance } => {
+                routine.encoded_len() + instance.encoded_len()
+            }
         }
     }
 
@@ -85,6 +154,40 @@ impl Wire for RadioFrame {
                 applied.encode(w);
                 state.encode(w);
             }
+            RadioFrame::Stage {
+                routine,
+                instance,
+                step,
+                command,
+            } => {
+                w.put_u8(4);
+                routine.encode(w);
+                instance.encode(w);
+                step.encode(w);
+                command.encode(w);
+            }
+            RadioFrame::StageAck {
+                routine,
+                instance,
+                step,
+                accepted,
+            } => {
+                w.put_u8(5);
+                routine.encode(w);
+                instance.encode(w);
+                step.encode(w);
+                accepted.encode(w);
+            }
+            RadioFrame::CommitRoutine { routine, instance } => {
+                w.put_u8(6);
+                routine.encode(w);
+                instance.encode(w);
+            }
+            RadioFrame::AbortRoutine { routine, instance } => {
+                w.put_u8(7);
+                routine.encode(w);
+                instance.encode(w);
+            }
         }
     }
 
@@ -101,6 +204,26 @@ impl Wire for RadioFrame {
                 applied: bool::decode(r)?,
                 state: ActuationState::decode(r)?,
             }),
+            4 => Ok(RadioFrame::Stage {
+                routine: RoutineId::decode(r)?,
+                instance: u64::decode(r)?,
+                step: u32::decode(r)?,
+                command: Command::decode(r)?,
+            }),
+            5 => Ok(RadioFrame::StageAck {
+                routine: RoutineId::decode(r)?,
+                instance: u64::decode(r)?,
+                step: u32::decode(r)?,
+                accepted: bool::decode(r)?,
+            }),
+            6 => Ok(RadioFrame::CommitRoutine {
+                routine: RoutineId::decode(r)?,
+                instance: u64::decode(r)?,
+            }),
+            7 => Ok(RadioFrame::AbortRoutine {
+                routine: RoutineId::decode(r)?,
+                instance: u64::decode(r)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 ty: "RadioFrame",
                 tag,
@@ -114,7 +237,8 @@ mod tests {
     use super::*;
     use rivulet_types::wire::roundtrip;
     use rivulet_types::{
-        ActuatorId, CommandKind, EventId, EventKind, OperatorId, Payload, ProcessId, Time,
+        ActuatorId, CommandKind, EventId, EventKind, OperatorId, Payload, ProcessId, RoutineId,
+        Time,
     };
 
     #[test]
@@ -138,6 +262,31 @@ mod tests {
             command: CommandId::new(ProcessId(0), OperatorId(1), 3),
             applied: false,
             state: ActuationState::Level(20.0),
+        });
+        roundtrip(&RadioFrame::Stage {
+            routine: RoutineId(2),
+            instance: 9,
+            step: 1,
+            command: Command::new(
+                CommandId::new(ProcessId(0), OperatorId(1), 4),
+                ActuatorId(5),
+                CommandKind::Set(ActuationState::Level(30.0)),
+                Time::from_secs(2),
+            ),
+        });
+        roundtrip(&RadioFrame::StageAck {
+            routine: RoutineId(2),
+            instance: 9,
+            step: 1,
+            accepted: true,
+        });
+        roundtrip(&RadioFrame::CommitRoutine {
+            routine: RoutineId(2),
+            instance: 9,
+        });
+        roundtrip(&RadioFrame::AbortRoutine {
+            routine: RoutineId(2),
+            instance: 9,
         });
     }
 

@@ -83,6 +83,10 @@ pub struct HomeParams {
     pub fault_rate: f64,
     /// Enable the platform's device-fault repair layer.
     pub repair: bool,
+    /// Enable the routine execution engine: the home's app fires a
+    /// one-step routine every tenth event, exercising staging and the
+    /// hash-chained execution ledger.
+    pub routines: bool,
 }
 
 impl Default for HomeParams {
@@ -105,6 +109,7 @@ impl Default for HomeParams {
             fault_kind: None,
             fault_rate: 0.0,
             repair: false,
+            routines: false,
         }
     }
 }
@@ -199,6 +204,10 @@ impl HomeParams {
                 Some(v) => self.repair = v,
                 None => return bad(key, "a bool", value),
             },
+            "routines" => match value.as_bool() {
+                Some(v) => self.routines = v,
+                None => return bad(key, "a bool", value),
+            },
             _ => {
                 return Err(ParseError {
                     message: format!("unknown home parameter `{key}`"),
@@ -261,6 +270,7 @@ impl HomeParams {
         cfg.fault_kind = self.fault_kind;
         cfg.fault_rate = self.fault_rate;
         cfg.repair = self.repair;
+        cfg.routines = self.routines;
         cfg.seed = seed;
         cfg
     }

@@ -43,17 +43,24 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod backend;
 pub mod crc;
 pub mod fs;
+pub mod ledger;
 pub mod record;
+pub mod sha256;
 pub mod sim;
 pub mod wal;
 
 pub use backend::{SegmentId, StorageBackend, StorageError};
 pub use fs::FsBackend;
+pub use ledger::{
+    AuditTrail, BrokenLink, LedgerChain, LedgerEntry, LedgerVerifier, RoutineTransition,
+};
 pub use record::{Checkpoint, WalRecord};
+pub use sha256::Sha256;
 pub use sim::{DiskProfile, FaultConfig, SimBackend};
 pub use wal::{FlushPolicy, Recovered, Wal, WalMetrics, WalOptions};

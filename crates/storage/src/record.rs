@@ -21,12 +21,14 @@ use rivulet_types::wire::{varint_len, Wire, WireError, WireReader, WireWriter};
 use rivulet_types::{Event, SensorId, Time};
 
 use crate::crc::crc32;
+use crate::ledger::LedgerEntry;
 
 /// Bytes occupied by the checksum field of a frame.
 pub const FRAME_CRC_BYTES: usize = 4;
 
 const TAG_EVENT: u8 = 0;
 const TAG_CHECKPOINT: u8 = 1;
+const TAG_LEDGER: u8 = 2;
 
 /// A snapshot of operator progress: every event at or below these
 /// per-sensor watermarks has been fully processed by the local
@@ -66,6 +68,10 @@ pub enum WalRecord {
     Event(Event),
     /// An operator-progress snapshot.
     Checkpoint(Checkpoint),
+    /// A hash-chained routine transition of the execution-integrity
+    /// ledger (appended — and flushed — before the transition's
+    /// protocol frames are sent).
+    Ledger(LedgerEntry),
 }
 
 impl Wire for WalRecord {
@@ -73,6 +79,7 @@ impl Wire for WalRecord {
         1 + match self {
             WalRecord::Event(ev) => ev.encoded_len(),
             WalRecord::Checkpoint(cp) => cp.encoded_len(),
+            WalRecord::Ledger(entry) => entry.encoded_len(),
         }
     }
 
@@ -86,6 +93,10 @@ impl Wire for WalRecord {
                 w.put_u8(TAG_CHECKPOINT);
                 cp.encode(w);
             }
+            WalRecord::Ledger(entry) => {
+                w.put_u8(TAG_LEDGER);
+                entry.encode(w);
+            }
         }
     }
 
@@ -93,6 +104,7 @@ impl Wire for WalRecord {
         match r.get_u8()? {
             TAG_EVENT => Ok(WalRecord::Event(Event::decode(r)?)),
             TAG_CHECKPOINT => Ok(WalRecord::Checkpoint(Checkpoint::decode(r)?)),
+            TAG_LEDGER => Ok(WalRecord::Ledger(LedgerEntry::decode(r)?)),
             tag => Err(WireError::InvalidTag {
                 ty: "WalRecord",
                 tag,
@@ -183,6 +195,28 @@ mod tests {
             at: Time::from_secs(30),
             processed: vec![(SensorId(1), 42), (SensorId(9), 0)],
         });
+        let frame = encode_frame(&rec);
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn ledger_roundtrip() {
+        use crate::ledger::{LedgerChain, RoutineTransition};
+        use rivulet_types::{ActuatorId, CommandId, OperatorId, ProcessId, RoutineId};
+        let mut chain = LedgerChain::seeded(7);
+        let entry = chain.append(
+            RoutineId(3),
+            11,
+            RoutineTransition::Staged,
+            Time::from_secs(5),
+            vec![(
+                ActuatorId(1),
+                CommandId::new(ProcessId(0), OperatorId(1), 9),
+            )],
+        );
+        let rec = WalRecord::Ledger(entry);
         let frame = encode_frame(&rec);
         let (back, used) = decode_frame(&frame).unwrap();
         assert_eq!(back, rec);

@@ -38,6 +38,7 @@ use rivulet_obs::Recorder;
 use rivulet_types::{Duration, Event, SensorId};
 
 use crate::backend::{Result, SegmentId, StorageBackend};
+use crate::ledger::LedgerEntry;
 use crate::record::{decode_frame, encode_frame, Checkpoint, WalRecord};
 
 /// When buffered frames are pushed to the backend and fsynced.
@@ -87,6 +88,9 @@ pub struct WalMetrics {
     pub segments_created: u64,
     /// Segments deleted by compaction.
     pub segments_deleted: u64,
+    /// Execution-integrity ledger entries appended (each one flushed
+    /// immediately).
+    pub ledger_appends: u64,
 }
 
 /// What [`Wal::open`] reconstructed from the durable prefix.
@@ -96,6 +100,10 @@ pub struct Recovered {
     pub events: Vec<Event>,
     /// The newest checkpoint in the durable prefix, if any.
     pub checkpoint: Option<Checkpoint>,
+    /// Every execution-integrity ledger entry in the durable prefix,
+    /// in append (= chain) order — the input to
+    /// [`crate::ledger::LedgerVerifier::verify`].
+    pub ledger: Vec<LedgerEntry>,
     /// Bytes past the durable prefix that were discarded (torn tail,
     /// corrupt frames, and any segments beyond the first bad frame).
     pub dropped_bytes: usize,
@@ -106,6 +114,10 @@ pub struct Recovered {
 struct SegmentIndex {
     /// Highest event sequence per sensor flushed into the segment.
     max_seq: HashMap<SensorId, u64>,
+    /// Whether the segment holds ledger entries. Such segments are
+    /// never compacted: the hash chain must survive in full so a
+    /// recovered node can re-verify it from the genesis hash.
+    has_ledger: bool,
 }
 
 /// A segmented write-ahead log over a [`StorageBackend`].
@@ -158,6 +170,10 @@ impl Wal {
                             WalRecord::Checkpoint(cp) => {
                                 latest_checkpoint_segment = Some(seg);
                                 recovered.checkpoint = Some(cp);
+                            }
+                            WalRecord::Ledger(ledger_entry) => {
+                                entry.has_ledger = true;
+                                recovered.ledger.push(ledger_entry);
                             }
                         }
                         offset += used;
@@ -266,6 +282,25 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends an execution-integrity ledger entry and flushes
+    /// immediately: routine transitions are write-ahead — the
+    /// coordinator must not send the transition's protocol frames until
+    /// the chained record is durable, or a crash could fire actuators
+    /// with no auditable cause.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn append_ledger(&mut self, entry: &LedgerEntry) -> Result<()> {
+        let frame = encode_frame(&WalRecord::Ledger(entry.clone()));
+        self.pending.extend_from_slice(&frame);
+        self.pending_index.has_ledger = true;
+        self.flush()?;
+        self.metrics.ledger_appends += 1;
+        self.obs.inc("ledger.appends");
+        Ok(())
+    }
+
     /// Pushes all buffered frames to the backend and fsyncs, rotating
     /// to a new segment first when the tail is full. No-op when
     /// nothing is pending.
@@ -301,6 +336,8 @@ impl Wal {
             let slot = tail_index.max_seq.entry(sensor).or_insert(0);
             *slot = (*slot).max(seq);
         }
+        tail_index.has_ledger |= self.pending_index.has_ledger;
+        self.pending_index.has_ledger = false;
         self.pending.clear();
         self.pending_events = 0;
         Ok(())
@@ -326,6 +363,11 @@ impl Wal {
             .collect();
         let mut deleted = 0;
         for seg in candidates {
+            // Ledger segments are immortal: dropping one would sever
+            // the hash chain a recovered node replays from genesis.
+            if self.index[&seg].has_ledger {
+                break;
+            }
             let covered = self.index[&seg]
                 .max_seq
                 .iter()
@@ -576,6 +618,85 @@ mod tests {
         // Nothing processed yet: every event segment must survive.
         let deleted = wal.compact(&HashMap::new()).unwrap();
         assert_eq!(deleted, 0);
+    }
+
+    #[test]
+    fn ledger_entries_recover_in_chain_order_and_verify() {
+        use crate::ledger::{LedgerChain, LedgerVerifier, RoutineTransition};
+        use rivulet_types::RoutineId;
+        let backend = sim();
+        let (mut wal, _) = Wal::open(
+            backend.clone() as Arc<dyn StorageBackend>,
+            WalOptions::default(),
+        )
+        .unwrap();
+        let mut chain = LedgerChain::seeded(42);
+        for instance in 0..4u64 {
+            let staged = chain.append(
+                RoutineId(1),
+                instance,
+                RoutineTransition::Staged,
+                Time::from_millis(instance * 10),
+                Vec::new(),
+            );
+            wal.append_ledger(&staged).unwrap();
+            wal.append_event(&event(1, instance + 1)).unwrap();
+            let committed = chain.append(
+                RoutineId(1),
+                instance,
+                RoutineTransition::Committed,
+                Time::from_millis(instance * 10 + 5),
+                Vec::new(),
+            );
+            wal.append_ledger(&committed).unwrap();
+        }
+        assert_eq!(wal.metrics().ledger_appends, 8);
+        drop(wal);
+        let (_, rec) =
+            Wal::open(backend as Arc<dyn StorageBackend>, WalOptions::default()).unwrap();
+        assert_eq!(rec.ledger.len(), 8);
+        assert_eq!(rec.events.len(), 4);
+        let trail = LedgerVerifier::verify(42, &rec.ledger).expect("recovered chain verifies");
+        assert_eq!(trail.len(), 8);
+    }
+
+    #[test]
+    fn compaction_never_drops_ledger_segments() {
+        use crate::ledger::{LedgerChain, RoutineTransition};
+        use rivulet_types::RoutineId;
+        let backend = sim();
+        let options = WalOptions {
+            flush_policy: FlushPolicy::PerEvent,
+            segment_max_bytes: 64,
+        };
+        let (mut wal, _) = Wal::open(backend.clone() as Arc<dyn StorageBackend>, options).unwrap();
+        let mut chain = LedgerChain::seeded(7);
+        // Segment 0 gets a ledger entry, then events roll segments.
+        wal.append_ledger(&chain.append(
+            RoutineId(1),
+            0,
+            RoutineTransition::Staged,
+            Time::ZERO,
+            Vec::new(),
+        ))
+        .unwrap();
+        for seq in 1..=20 {
+            wal.append_event(&event(1, seq)).unwrap();
+        }
+        wal.append_checkpoint(&Checkpoint {
+            at: Time::from_secs(1),
+            processed: vec![(SensorId(1), 20)],
+        })
+        .unwrap();
+        let mut processed = HashMap::new();
+        processed.insert(SensorId(1), 20u64);
+        let deleted = wal.compact(&processed).unwrap();
+        // The ledger entry sits in the first segment, so the contiguous
+        // compactable prefix is empty.
+        assert_eq!(deleted, 0);
+        drop(wal);
+        let (_, rec) = Wal::open(backend as Arc<dyn StorageBackend>, options).unwrap();
+        assert_eq!(rec.ledger.len(), 1, "the chained entry must survive");
     }
 
     #[test]

@@ -82,6 +82,19 @@ impl_u32_id! {
     OperatorId, "op"
 }
 
+impl_u32_id! {
+    /// Identity of a deployed routine — an ordered multi-actuator
+    /// command sequence executed with all-or-nothing semantics by the
+    /// active logic node (SafeHome-style atomicity; see
+    /// `rivulet-core`'s routine engine).
+    ///
+    /// A `RoutineId` names the *spec*; each firing of the routine is a
+    /// distinct **instance**, numbered by a per-process `u64` counter
+    /// that also keys the staging protocol frames and the ledger
+    /// entries of that firing.
+    RoutineId, "r"
+}
+
 /// Globally unique identity of a sensor event.
 ///
 /// Events are identified by their source sensor plus a per-sensor

@@ -42,7 +42,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod command;
 mod event;
@@ -55,5 +56,5 @@ pub mod wire;
 pub use arena::{ArenaStats, PayloadArena};
 pub use command::{ActuationState, Command, CommandId, CommandKind};
 pub use event::{Event, EventKind, Payload, SizeClass};
-pub use id::{ActuatorId, AppId, EventId, OperatorId, ProcessId, SensorId};
+pub use id::{ActuatorId, AppId, EventId, OperatorId, ProcessId, RoutineId, SensorId};
 pub use time::{Duration, Time};

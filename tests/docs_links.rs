@@ -1,0 +1,248 @@
+//! Documentation link checker: every intra-repo markdown link in the
+//! top-level docs must resolve, and every `DESIGN.md §X.Y` prose
+//! reference must name a section that actually exists.
+//!
+//! Three checks over each tracked top-level `*.md` file:
+//!
+//! 1. `[text](relative/path)` targets exist on disk (external
+//!    `http(s)://` links and pure in-page `#anchors` are exempt from
+//!    the existence check);
+//! 2. `[text](file.md#anchor)` anchors match a real heading of the
+//!    target file under GitHub's slugging rules;
+//! 3. `§X.Y` references to DESIGN.md sections (in any doc) match a
+//!    `## X.Y ...` / `### X.Y ...` heading in DESIGN.md.
+//!
+//! CI runs this as the `docs-links` step, so a renamed heading or a
+//! deleted section breaks the build instead of silently going stale.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The top-level docs under link discipline. `ISSUE.md`, `CHANGES.md`,
+/// `PAPERS.md`, and `SNIPPETS.md` are driver-/session-managed scratch
+/// and exempt.
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "OBSERVABILITY.md",
+    "ROADMAP.md",
+    "CHANGELOG.md",
+    "PAPER.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// GitHub's heading→anchor slug: lowercase, spaces→dashes, strip
+/// everything that is not alphanumeric, dash, or underscore.
+fn github_slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All anchors a markdown file exposes (its heading slugs, with
+/// GitHub's `-1`, `-2`, … dedup suffixes).
+fn anchors_of(path: &Path) -> BTreeSet<String> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut anchors = BTreeSet::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#');
+        if !heading.starts_with(' ') {
+            continue;
+        }
+        let slug = github_slug(heading);
+        let n = seen.entry(slug.clone()).or_insert(0);
+        anchors.insert(if *n == 0 {
+            slug.clone()
+        } else {
+            format!("{slug}-{n}")
+        });
+        *n += 1;
+    }
+    anchors
+}
+
+/// Extracts `(link_target, line_number)` pairs from inline markdown
+/// links, skipping fenced code blocks and inline code spans.
+fn links_of(text: &str) -> Vec<(String, usize)> {
+    let mut links = Vec::new();
+    let mut in_code = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        // Strip inline code spans so `[x](y)` inside backticks is not
+        // treated as a link.
+        let mut cleaned = String::with_capacity(line.len());
+        let mut in_span = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_span = !in_span;
+            } else if !in_span {
+                cleaned.push(c);
+            }
+        }
+        let bytes = cleaned.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'(' && i > 0 && bytes[i - 1] == b']' {
+                if let Some(close) = cleaned[i + 1..].find(')') {
+                    let target = cleaned[i + 1..i + 1 + close].trim();
+                    // `[x](y "title")` → strip the title part.
+                    let target = target.split_whitespace().next().unwrap_or("");
+                    if !target.is_empty() {
+                        links.push((target.to_owned(), lineno + 1));
+                    }
+                    i += close + 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+#[test]
+fn intra_repo_links_resolve() {
+    let root = repo_root();
+    let mut errors = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        for (target, line) in links_of(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let target_path = if file_part.is_empty() {
+                path.clone()
+            } else {
+                root.join(file_part)
+            };
+            if !target_path.exists() {
+                errors.push(format!(
+                    "{doc}:{line}: link target `{file_part}` does not exist"
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if target_path.extension().is_some_and(|e| e == "md") {
+                    let anchors = anchors_of(&target_path);
+                    if !anchors.contains(anchor) {
+                        errors.push(format!(
+                            "{doc}:{line}: anchor `#{anchor}` not found in `{}`",
+                            target_path.file_name().unwrap().to_string_lossy()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "broken doc links:\n{}",
+        errors.join("\n")
+    );
+}
+
+/// Section numbers DESIGN.md actually defines (`## 4.2 ...` → "4.2").
+fn design_sections(root: &Path) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(root.join("DESIGN.md")).expect("read DESIGN.md");
+    let mut sections = BTreeSet::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#').trim_start();
+        let number: String = heading
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        let number = number.trim_end_matches('.');
+        if !number.is_empty() {
+            sections.insert(number.to_owned());
+        }
+    }
+    sections
+}
+
+#[test]
+fn design_section_references_exist() {
+    let root = repo_root();
+    let sections = design_sections(&root);
+    assert!(
+        sections.contains("4.7"),
+        "DESIGN.md must define §4.7 (routine state machine & ledger)"
+    );
+    let mut errors = Vec::new();
+    for doc in DOCS {
+        let text =
+            std::fs::read_to_string(root.join(doc)).unwrap_or_else(|e| panic!("read {doc}: {e}"));
+        for (lineno, line) in text.lines().enumerate() {
+            // A `§X.Y` in any top-level doc refers to DESIGN.md's own
+            // numbering unless it cites the paper explicitly.
+            if line.contains("paper") || line.contains("Paper") || line.contains("§8") {
+                continue;
+            }
+            let mut rest = line;
+            while let Some(at) = rest.find('§') {
+                rest = &rest[at + '§'.len_utf8()..];
+                let number: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
+                let number = number.trim_end_matches('.').to_owned();
+                if !number.is_empty() && !sections.contains(&number) {
+                    errors.push(format!(
+                        "{doc}:{}: §{number} does not match any DESIGN.md heading",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "stale DESIGN.md section references:\n{}",
+        errors.join("\n")
+    );
+}

@@ -1,0 +1,218 @@
+//! Routine execution engine & execution-integrity ledger suite.
+//!
+//! Four contracts, end to end:
+//!
+//! 1. **Toggle invariance** — registering a routine and an app that
+//!    requests it changes *nothing* while `Config::routines` is off:
+//!    the full delivery trace and the exported `ObsSnapshot` JSON are
+//!    byte-identical to a seed-matched baseline that never heard of
+//!    routines (the pattern of `tests/fault_suite.rs`).
+//! 2. **Atomicity** — crashing the coordinating process (actor *and*
+//!    disk tail) at every boundary of the staged two-phase protocol
+//!    never yields a partial firing: each instance applies all of its
+//!    steps or none, and non-committed instances apply nothing.
+//! 3. **Ledger integrity** — the coordinator's hash-chained ledger
+//!    verifies end to end after every run, including recovered ones;
+//!    tampering with any single entry is detected at its exact index.
+//! 4. **Reproducibility** — a routines-under-crash run is a pure
+//!    function of its seed.
+//!
+//! The crash runs reuse the `rivulet-bench` routine harness, so every
+//! asserted number is the same one `BENCH_routines.json` commits.
+
+use rivulet::core::app::{AppBuilder, CombinedWindows, CombinerSpec, OpCtx, WindowSpec};
+use rivulet::core::delivery::Delivery;
+use rivulet::core::deploy::{Home, HomeBuilder};
+use rivulet::core::{RivuletConfig, RoutineSpec};
+use rivulet::devices::sensor::{EmissionSchedule, PayloadSpec};
+use rivulet::net::sim::{SimConfig, SimNet};
+use rivulet::storage::LedgerVerifier;
+use rivulet::types::{
+    ActuationState, AppId, CommandKind, Duration, EventKind, ProcessId, RoutineId, Time,
+};
+use rivulet_bench::routine::{
+    corruption_exactness, run_routine_scenario, RoutineScenario, CRASH_OFFSETS_MS,
+};
+
+/// One delivery as `(at, by, seq)` — bit-comparable.
+type TraceEntry = (Time, ProcessId, u64);
+
+/// A three-host home with one periodic sensor and an anchor actuator.
+/// With `register` set, a one-step routine on the anchor is declared
+/// and the app requests it on every fifth reading — but the platform
+/// config leaves `routines` at its default (off), so the request must
+/// be dropped before it has any observable effect. Returns the full
+/// delivery trace plus the obs JSON export.
+fn routines_off_trace(register: bool, seed: u64) -> (Vec<TraceEntry>, String) {
+    let mut net = SimNet::new(SimConfig::with_seed(seed));
+    net.recorder().set_enabled(true);
+    let mut home = HomeBuilder::new(&mut net).with_config(RivuletConfig::default());
+    let hosts: Vec<ProcessId> = (0..3).map(|i| home.add_host(format!("host{i}"))).collect();
+    let (sensor, _) = home.add_push_sensor(
+        "motion",
+        PayloadSpec::KindOnly(EventKind::Motion),
+        EmissionSchedule::Periodic(Duration::from_secs(1)),
+        &hosts,
+    );
+    let (anchor, anchor_probe) =
+        home.add_actuator("anchor", ActuationState::Switch(false), &[hosts[0]]);
+    if register {
+        let _ = home.add_routine(
+            RoutineSpec::new(RoutineId(1), "scene")
+                .step(anchor, CommandKind::Set(ActuationState::Switch(true))),
+        );
+    }
+    let app = AppBuilder::new(AppId(1), "scene")
+        .operator(
+            "leaving",
+            CombinerSpec::Any,
+            move |ctx: &mut OpCtx, w: &CombinedWindows| {
+                if register && w.all_events().any(|e| e.id.seq % 5 == 4) {
+                    ctx.run_routine(RoutineId(1));
+                }
+            },
+        )
+        .sensor(sensor, Delivery::Gapless, WindowSpec::count(1))
+        .actuator(anchor, Delivery::Gapless)
+        .done()
+        .build()
+        .expect("valid app");
+    let probe = home.add_app(app);
+    let _home: Home = home.build();
+    net.run_until(Time::from_secs(60));
+
+    assert_eq!(
+        anchor_probe.effect_count(),
+        0,
+        "with routines off nothing may actuate"
+    );
+    let trace: Vec<TraceEntry> = probe
+        .deliveries()
+        .iter()
+        .map(|d| (d.at, d.by, d.event.seq))
+        .collect();
+    (trace, net.obs_snapshot().to_json())
+}
+
+#[test]
+fn routines_off_is_byte_invariant() {
+    let baseline = routines_off_trace(false, 7);
+    let toggled = routines_off_trace(true, 7);
+    assert!(!baseline.0.is_empty(), "the run delivered something");
+    assert_eq!(
+        baseline.0, toggled.0,
+        "a registered-but-disabled routine must not perturb the delivery trace"
+    );
+    assert_eq!(
+        baseline.1, toggled.1,
+        "a registered-but-disabled routine must not perturb the obs JSON"
+    );
+    assert!(
+        !baseline.1.contains("routine."),
+        "no routine.* keys may exist on a routines-off run"
+    );
+    assert!(
+        !baseline.1.contains("ledger."),
+        "no ledger.* keys may exist on a routines-off run"
+    );
+}
+
+#[test]
+fn crash_free_run_commits_every_instance() {
+    let o = run_routine_scenario(&RoutineScenario {
+        crash_offset: None,
+        duration: Duration::from_secs(30),
+        seed: 42,
+    });
+    assert!(o.instances >= 4, "staged {} instances", o.instances);
+    assert_eq!(o.committed as usize, o.instances, "every staging commits");
+    assert_eq!(o.aborted, 0);
+    assert_eq!(o.partial_firings, 0);
+    assert_eq!(o.phantom_firings, 0);
+    assert_eq!(
+        o.ledger_entries,
+        o.instances * 2,
+        "one Staged + one Committed entry per instance"
+    );
+    assert_eq!(o.ledger_broken, None);
+    assert_eq!(o.obs.counter("routine.committed"), o.committed);
+    assert!(o.obs.counter("ledger.appends") >= o.ledger_entries as u64);
+}
+
+#[test]
+fn crash_at_every_stage_boundary_never_fires_partially() {
+    for ms in CRASH_OFFSETS_MS {
+        let o = run_routine_scenario(&RoutineScenario {
+            crash_offset: Some(Duration::from_millis(ms)),
+            duration: Duration::from_secs(30),
+            seed: 42,
+        });
+        assert_eq!(
+            o.partial_firings, 0,
+            "crash at +{ms}ms: an instance fired some but not all steps"
+        );
+        assert_eq!(
+            o.phantom_firings, 0,
+            "crash at +{ms}ms: a non-committed instance fired"
+        );
+        assert_eq!(
+            o.ledger_broken, None,
+            "crash at +{ms}ms: recovered ledger chain broken"
+        );
+    }
+}
+
+#[test]
+fn interrupted_staging_aborts_and_compensates_on_recovery() {
+    // +2 ms lands inside the staging round trip (radio ≈1 ms/hop):
+    // the Staged entry is durable, no commit was decided, so recovery
+    // must abort the instance and issue its compensation.
+    let o = run_routine_scenario(&RoutineScenario {
+        crash_offset: Some(Duration::from_millis(2)),
+        duration: Duration::from_secs(30),
+        seed: 42,
+    });
+    assert!(o.aborted >= 1, "the interrupted staging aborted");
+    assert!(o.compensated >= 1, "its compensation was issued");
+    assert!(o.obs.counter("routine.recovered_aborts") >= 1);
+    assert!(o.obs.counter("ledger.recovered_entries") > 0);
+    assert_eq!(o.ledger_broken, None, "recovered chain verifies");
+    // The recovered coordinator still commits later firings.
+    assert!(o.committed >= 4, "committed {} after recovery", o.committed);
+}
+
+#[test]
+fn corrupted_ledger_entry_is_detected_at_exact_index() {
+    let o = run_routine_scenario(&RoutineScenario {
+        crash_offset: None,
+        duration: Duration::from_secs(30),
+        seed: 42,
+    });
+    assert!(o.ledger.len() >= 8, "ledger has {} entries", o.ledger.len());
+    // The untampered chain verifies and yields the full audit trail.
+    let trail = LedgerVerifier::verify(42, &o.ledger).expect("clean chain verifies");
+    assert_eq!(trail.len(), o.ledger.len());
+    // Tampering with any single entry breaks the chain at that index.
+    let (entries, exact) = corruption_exactness(42, &o.ledger);
+    assert_eq!(
+        exact, entries,
+        "every tampered entry must be pinpointed at its own index"
+    );
+}
+
+#[test]
+fn routines_under_crash_are_reproducible() {
+    let cfg = RoutineScenario {
+        crash_offset: Some(Duration::from_millis(3)),
+        duration: Duration::from_secs(30),
+        seed: 42,
+    };
+    let a = run_routine_scenario(&cfg);
+    let b = run_routine_scenario(&cfg);
+    assert_eq!(a.ledger, b.ledger, "the ledger is a pure function of seed");
+    assert_eq!(a.triggered, b.triggered);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.compensated, b.compensated);
+    assert_eq!(a.obs.to_json(), b.obs.to_json(), "obs JSON is byte-stable");
+}
